@@ -1,0 +1,92 @@
+// Shared plumbing for the benchmark binaries (one per paper table/figure).
+//
+// Every bench accepts:
+//   --scale=<float>   edge-budget multiplier for the stand-in graphs
+//                     (default 0.5; 1.0 ~ a quarter-million edges per graph)
+//   --colors=<int>    vertex colors C (default 23, the paper's setting:
+//                     binom(25,3) = 2300 PIM cores)
+//   --quick           trims sweep grids for CI-style runs
+//
+// Output convention: a header block naming the paper artifact being
+// regenerated, then a fixed-width table with one row per paper row/series
+// point, then a "shape check" line summarizing whether the qualitative
+// claim of the figure holds in this run.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/prng.hpp"
+#include "graph/coo.hpp"
+#include "graph/paper_graphs.hpp"
+#include "graph/preprocess.hpp"
+
+namespace pimtc::bench {
+
+struct BenchOptions {
+  double scale = 0.5;
+  std::uint32_t colors = 23;
+  bool quick = false;
+  std::uint64_t seed = 42;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--scale=", 8) == 0) {
+      opt.scale = std::atof(arg + 8);
+    } else if (std::strncmp(arg, "--colors=", 9) == 0) {
+      opt.colors = static_cast<std::uint32_t>(std::atoi(arg + 9));
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(arg + 7));
+    } else if (std::strcmp(arg, "--quick") == 0) {
+      opt.quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' "
+                   "(supported: --scale= --colors= --seed= --quick)\n",
+                   arg);
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Builds the preprocessed (dedup + shuffle) stand-in for one paper graph.
+inline graph::EdgeList load_graph(graph::PaperGraph g, const BenchOptions& opt) {
+  graph::EdgeList list = graph::make_paper_graph(g, opt.scale, opt.seed);
+  graph::preprocess(list, derive_seed(opt.seed, 0x9e37));
+  return list;
+}
+
+inline void print_header(const char* artifact, const char* claim,
+                         const BenchOptions& opt) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("Config: scale=%.2f colors=%u seed=%llu%s\n", opt.scale,
+              opt.colors, static_cast<unsigned long long>(opt.seed),
+              opt.quick ? " (quick)" : "");
+  std::printf("==============================================================\n");
+}
+
+/// 1e6-style human formatting for counts.
+inline std::string human(double v) {
+  char buf[32];
+  if (v >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2fG", v / 1e9);
+  } else if (v >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  }
+  return buf;
+}
+
+}  // namespace pimtc::bench

@@ -1,0 +1,156 @@
+// Regenerates Figure 7: cumulative time to process 10 dynamic updates of
+// the WikipediaEdit graph (the PIM implementation's *worst* static case),
+// counting exact triangles after every update.
+//
+// The CPU baseline must rebuild its CSR from the full accumulated COO on
+// every update; the GPU and PIM implementations update their internal
+// representations directly and "quickly begin counting the triangles formed
+// by the newly updated set of edges" (Section 4.6) — here: the incremental
+// recount mode, which merges the batch into each core's persistent sorted
+// arc array and counts only new-edge triangles.
+//
+// Projection: per-update *simulated* PIM time (transfers + device cycles;
+// locally measured 2-core host time excluded) and the CPU work profile are
+// scaled linearly to the published |E|; host-side batch building is modeled
+// at the paper host's memory bandwidth.  See DESIGN.md / EXPERIMENTS.md.
+//
+// Paper claim: cumulative CPU time grows far faster than PIM and GPU; PIM
+// beats the CPU on dynamic COO streams despite losing statically.
+#include "baseline/cpu_tc.hpp"
+#include "baseline/device_model.hpp"
+#include "baseline/dynamic_cpu.hpp"
+#include "bench_util.hpp"
+#include "tc/host.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pimtc;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 7: cumulative time over 10 dynamic updates (WikipediaEdit)",
+      "CPU pays a full CSR rebuild per update and falls behind; PIM and "
+      "GPU ingest COO directly and win cumulatively",
+      opt);
+
+  const graph::EdgeList full =
+      bench::load_graph(graph::PaperGraph::kWikipediaEdit, opt);
+  const auto& info =
+      graph::paper_graph_info(graph::PaperGraph::kWikipediaEdit);
+  const double ratio = static_cast<double>(info.paper_edges) /
+                       static_cast<double>(full.num_edges());
+
+  const baseline::PlatformModel cpu_model = baseline::xeon_4215_model();
+  const baseline::PlatformModel gpu_model = baseline::a100_model();
+
+  constexpr int kUpdates = 10;
+  const std::size_t step = full.num_edges() / kUpdates;
+  const auto edges = full.edges();
+
+  tc::TcConfig cfg;
+  cfg.num_colors = opt.colors;
+  cfg.seed = opt.seed;
+  cfg.misra_gries_enabled = true;
+  cfg.mg_capacity = 1024;
+  cfg.mg_top = 32;
+  cfg.incremental = true;  // the COO-native dynamic path
+  tc::PimTriangleCounter pim(cfg);
+  tc::TcConfig naive_cfg = cfg;
+  naive_cfg.incremental = false;  // re-sort + full recount every update
+  tc::PimTriangleCounter pim_naive(naive_cfg);
+  baseline::DynamicCpuCounter cpu;
+
+  double pim_cum = 0.0;
+  double naive_cum = 0.0;
+  double cpu_cum = 0.0;
+  double gpu_cum = 0.0;
+  double pim_first = 0.0;
+  double pim_last = 0.0;
+  double cpu_first = 0.0;
+  double cpu_last = 0.0;
+
+  std::printf("%7s %12s | %10s %10s %10s %12s | cumulative s @ paper scale\n",
+              "update", "edges", "CPU", "GPU", "PIM inc.", "PIM naive");
+
+  for (int u = 0; u < kUpdates; ++u) {
+    const std::size_t lo = u * step;
+    const std::size_t hi = (u == kUpdates - 1) ? edges.size() : lo + step;
+    const auto batch = edges.subspan(lo, hi - lo);
+    const auto batch_bytes =
+        static_cast<std::uint64_t>(batch.size() * sizeof(Edge) * ratio);
+
+    // PIM: transfer the new batch only, recount incrementally.
+    pim.system().reset_times();
+    pim.add_edges(batch);
+    const tc::TcResult r = pim.recount();
+    // Simulated device+transfer seconds, scaled to paper |E|; the paper
+    // host's batch building is a streaming pass over C x batch bytes.
+    const double host_model_s =
+        static_cast<double>(batch_bytes) * opt.colors / 25e9;
+    const double pim_update =
+        (r.times.sample_creation_s + r.times.count_s) * ratio + host_model_s;
+    pim_cum += pim_update;
+    if (u == 0) pim_first = pim_update;
+    if (u == kUpdates - 1) pim_last = pim_update;
+
+    // PIM without the incremental mode (the naive dynamic baseline).
+    pim_naive.system().reset_times();
+    pim_naive.add_edges(batch);
+    const tc::TcResult rn = pim_naive.recount();
+    naive_cum += (rn.times.sample_creation_s + rn.times.count_s) * ratio +
+                 host_model_s;
+
+    // CPU / GPU: platform models over the accumulated graph's profile.
+    cpu.add_edges(batch);
+    const baseline::CpuTcResult c = cpu.recount();
+    baseline::TcWorkProfile scaled = c.profile;
+    scaled.conversion_ops =
+        static_cast<std::uint64_t>(scaled.conversion_ops * ratio);
+    scaled.intersection_steps =
+        static_cast<std::uint64_t>(scaled.intersection_steps * ratio);
+    const double cpu_update = cpu_model.dynamic_seconds(scaled, batch_bytes);
+    cpu_cum += cpu_update;
+    gpu_cum += gpu_model.dynamic_seconds(scaled, batch_bytes);
+    if (u == 0) cpu_first = cpu_update;
+    if (u == kUpdates - 1) cpu_last = cpu_update;
+
+    std::printf("%7d %12.0f | %10.2f %10.2f %10.2f %12.2f%s%s\n", u + 1,
+                static_cast<double>(hi) * ratio, cpu_cum, gpu_cum, pim_cum,
+                naive_cum,
+                r.used_incremental ? "" : "  [full recount]",
+                r.rounded() == c.triangles ? "" : "  <-- COUNT MISMATCH");
+  }
+
+  std::printf("\nSpeedup over CPU (cumulative): GPU %.2fx, PIM %.2fx; "
+              "incremental over naive PIM: %.2fx\n",
+              cpu_cum / gpu_cum, cpu_cum / pim_cum, naive_cum / pim_cum);
+
+  // Mechanism analysis: per-update cost slopes.  The CPU rebuilds and
+  // recounts everything, so its per-update cost grows with the accumulated
+  // graph; the incremental PIM pays a flatter cost.  When the CPU slope is
+  // steeper, a crossover exists; report where.
+  const double cpu_slope = (cpu_last - cpu_first) / (kUpdates - 1);
+  const double pim_slope = (pim_last - pim_first) / (kUpdates - 1);
+  std::printf("Per-update cost: CPU %.2fs -> %.2fs (slope %.3fs/update), "
+              "PIM %.2fs -> %.2fs (slope %.3fs/update)\n",
+              cpu_first, cpu_last, cpu_slope, pim_first, pim_last, pim_slope);
+  if (pim_cum < cpu_cum) {
+    std::printf("Shape check: PIM beats CPU within 10 updates: HOLDS\n");
+  } else if (cpu_slope > pim_slope) {
+    const double per_update_cross =
+        (pim_first - cpu_first) / (cpu_slope - pim_slope);
+    std::printf(
+        "Shape check: PIM beats CPU within 10 updates: NOT at this scale "
+        "(projected per-update crossover near update %.0f).\n"
+        "The stand-in's hub holds %.0f%% of |E| vs the paper's 1.2%%, which "
+        "concentrates per-update work on the hub-colored cores "
+        "(EXPERIMENTS.md discusses the scale gap).\n",
+        per_update_cross + 1.0, 100.0 * 12500.0 * opt.scale * 2 /
+                                    (250e3 * opt.scale * 2));
+  } else {
+    std::printf("Shape check: VIOLATED (no crossover in sight)\n");
+  }
+  std::printf("Mechanism checks: incremental >> naive PIM recounting: %s; "
+              "GPU beats CPU: %s\n",
+              naive_cum > 1.5 * pim_cum ? "HOLDS" : "WEAK",
+              gpu_cum < cpu_cum ? "HOLDS" : "VIOLATED");
+  return 0;
+}

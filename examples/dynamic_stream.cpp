@@ -1,0 +1,71 @@
+// Dynamic-graph triangle counting (the Figure 7 scenario).
+//
+// A stream of edge batches arrives; after every batch the application wants
+// a fresh triangle count.  COO-native engines (the PIM counter) just append
+// the batch and recount; a CSR-internal engine must rebuild its whole
+// structure from the accumulated COO first.  This example runs both and
+// prints the per-update and cumulative costs.
+#include <cstdio>
+#include <vector>
+
+#include "baseline/cpu_tc.hpp"
+#include "baseline/device_model.hpp"
+#include "baseline/dynamic_cpu.hpp"
+#include "graph/generators.hpp"
+#include "graph/preprocess.hpp"
+#include "tc/host.hpp"
+
+int main() {
+  using namespace pimtc;
+
+  // A hyperlink-ish graph arriving in 10 updates.
+  graph::EdgeList g = graph::gen::barabasi_albert(30'000, 5, 3);
+  graph::gen::add_hubs(g, 2, 6'000, 4);
+  graph::preprocess(g, 42);
+  const auto edges = g.edges();
+  constexpr int kUpdates = 10;
+  const std::size_t step = edges.size() / kUpdates;
+
+  tc::TcConfig config;
+  config.num_colors = 6;      // 56 PIM cores
+  config.incremental = true;  // COO-native: merge batches, count only new
+  tc::PimTriangleCounter pim(config);
+  baseline::DynamicCpuCounter cpu;
+  const baseline::PlatformModel cpu_model = baseline::xeon_4215_model();
+
+  std::printf("%7s %12s %14s %14s %14s\n", "update", "edges", "triangles",
+              "PIM cum (ms)", "CPU cum (ms)");
+
+  double pim_cum = 0.0;
+  double cpu_cum = 0.0;
+  for (int u = 0; u < kUpdates; ++u) {
+    const std::size_t lo = u * step;
+    const std::size_t hi = (u == kUpdates - 1) ? edges.size() : lo + step;
+    const auto batch = edges.subspan(lo, hi - lo);
+
+    // PIM: transfer only the new batch, recount incrementally (simulated
+    // device + transfer time; local host time excluded).
+    pim.system().reset_times();
+    pim.add_edges(batch);
+    const tc::TcResult r = pim.recount();
+    pim_cum += r.times.sample_creation_s + r.times.count_s;
+
+    // CPU: append is free, but the recount pays a full CSR rebuild.
+    cpu.add_edges(batch);
+    const baseline::CpuTcResult c = cpu.recount();
+    cpu_cum += cpu_model.dynamic_seconds(c.profile, batch.size() * sizeof(Edge));
+
+    std::printf("%7d %12zu %14llu %14.2f %14.2f%s\n", u + 1, hi,
+                static_cast<unsigned long long>(r.rounded()), pim_cum * 1e3,
+                cpu_cum * 1e3,
+                r.rounded() == c.triangles ? "" : "  <-- MISMATCH");
+  }
+
+  std::printf("\nCumulative: PIM %.1f ms vs CPU(model) %.1f ms.\n",
+              pim_cum * 1e3, cpu_cum * 1e3);
+  std::printf(
+      "The crossover is scale-dependent: at this demo size the CPU's CSR\n"
+      "rebuild is cheap, while at the paper's 255M-edge scale it dominates\n"
+      "every update — see bench/fig7_dynamic_updates for the projection.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Misra-Gries high-degree handling (Section 3.5).
+//
+// Builds a Wikipedia-like graph with extreme hub nodes, shows that the
+// host-side Misra-Gries summaries find the true heavy hitters, and compares
+// the simulated counting time with remapping off vs on.
+#include <cstdio>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/preprocess.hpp"
+#include "graph/stats.hpp"
+#include "tc/host.hpp"
+
+int main() {
+  using namespace pimtc;
+
+  graph::EdgeList g = graph::gen::barabasi_albert(40'000, 5, 21);
+  graph::gen::add_hubs(g, 3, 9'000, 22);
+  // Scatter the hub ids: generators place hubs at the ends of the id space,
+  // real graphs do not, and the remapping optimization targets exactly the
+  // hubs-with-low-ids case.
+  graph::gen::permute_ids(g, 24);
+  graph::preprocess(g, 23);
+
+  const graph::DegreeStats stats = graph::degree_stats(g);
+  std::printf("Graph: %zu edges, %u nodes, max degree %llu (node %u)\n\n",
+              g.num_edges(), g.num_nodes(),
+              static_cast<unsigned long long>(stats.max_degree),
+              stats.argmax_node);
+
+  // --- run with Misra-Gries enabled, inspect the summary -------------------
+  tc::TcConfig cfg;
+  cfg.num_colors = 6;
+  cfg.misra_gries_enabled = true;
+  cfg.mg_capacity = 512;  // K
+  cfg.mg_top = 8;         // t
+
+  tc::PimTriangleCounter with_mg(cfg);
+  const tc::TcResult r_mg = with_mg.count(g);
+
+  const auto deg = graph::degrees(g);
+  std::printf("Top-%u nodes found by the merged Misra-Gries summaries:\n",
+              cfg.mg_top);
+  std::printf("%8s %14s %14s\n", "node", "MG estimate", "true degree");
+  for (const NodeId node : with_mg.heavy_hitters().top(cfg.mg_top)) {
+    std::printf("%8u %14llu %14llu\n", node,
+                static_cast<unsigned long long>(
+                    with_mg.heavy_hitters().estimate(node)),
+                static_cast<unsigned long long>(deg[node]));
+  }
+
+  // --- same run without remapping -------------------------------------------
+  cfg.misra_gries_enabled = false;
+  tc::PimTriangleCounter without_mg(cfg);
+  const tc::TcResult r_plain = without_mg.count(g);
+
+  std::printf("\n%-18s %14s %14s\n", "", "count (ms)", "triangles");
+  std::printf("%-18s %14.2f %14llu\n", "MG remap OFF",
+              r_plain.times.count_s * 1e3,
+              static_cast<unsigned long long>(r_plain.rounded()));
+  std::printf("%-18s %14.2f %14llu\n", "MG remap ON (t=8)",
+              r_mg.times.count_s * 1e3,
+              static_cast<unsigned long long>(r_mg.rounded()));
+  std::printf("\nSpeedup from remapping the hubs: %.2fx (counts %s)\n",
+              r_plain.times.count_s / r_mg.times.count_s,
+              r_plain.rounded() == r_mg.rounded() ? "agree" : "DISAGREE");
+  return 0;
+}

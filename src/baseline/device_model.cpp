@@ -1,0 +1,33 @@
+#include "baseline/device_model.hpp"
+
+namespace pimtc::baseline {
+
+PlatformModel xeon_4215_model() noexcept {
+  PlatformModel m;
+  // 16 cores / 32 threads at ~2.5 GHz, rates for *paper-scale* graphs
+  // (tens to hundreds of millions of edges).  The CSR build scatters into
+  // offset/target arrays far larger than the 2 x 11 MB LLC — random-DRAM
+  // bound at a few hundred M records/s across the socket pair.  The merge
+  // intersections, in contrast, walk two *sequential* adjacency streams:
+  // bandwidth-friendly, a few G steps/s aggregate.
+  m.conversion_ops_per_s = 4.0e8;
+  m.steps_per_s = 2.2e9;
+  m.fixed_overhead_s = 1.0e-3;
+  m.ingest_bytes_per_s = 8.0e9;  // memcpy-speed COO append
+  m.rebuilds_on_update = true;   // CSR must be rebuilt every recount
+  return m;
+}
+
+PlatformModel a100_model() noexcept {
+  PlatformModel m;
+  // ~2 TB/s HBM and enough threads to hide DRAM latency; cuGraph TC lands
+  // 20-40x over the dual-socket CPU on these workloads.
+  m.conversion_ops_per_s = 1.2e10;
+  m.steps_per_s = 2.5e10;
+  m.fixed_overhead_s = 0.4e-3;   // kernel launches + host orchestration
+  m.ingest_bytes_per_s = 20e9;   // PCIe-4 x16 ~ staged COO append
+  m.rebuilds_on_update = false;  // updates its internal COO directly
+  return m;
+}
+
+}  // namespace pimtc::baseline

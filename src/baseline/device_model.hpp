@@ -1,0 +1,65 @@
+// Analytic platform models for the cross-platform comparison figures.
+//
+// The paper benchmarks three machines: a dual Xeon Silver 4215 running the
+// CSR-converting CPU code, an A100 running cuGraph, and the 2560-DPU UPMEM
+// system.  Only the last is simulated in full; the CPU and GPU comparators
+// are *modeled* by mapping the platform-independent work profile of the
+// baseline algorithm (conversion record-ops, intersection merge steps) to
+// seconds through per-platform throughput constants.
+//
+// The constants are calibrated to public figures: a 32-thread Xeon pair
+// sustains on the order of 1e9 merge-steps/s/thread peak but ~2.5e9
+// steps/s aggregate on irregular graph traversal; cuGraph on an A100 runs
+// TC 20-40x faster than a 2-socket CPU on COO-ingested graphs.  Absolute
+// values are not the point (DESIGN.md) — the *ratios* and the conversion
+// asymmetry that drive Figures 6 and 7 are.
+#pragma once
+
+#include "baseline/cpu_tc.hpp"
+
+namespace pimtc::baseline {
+
+struct PlatformModel {
+  /// Conversion record-ops per second (COO -> CSR build, memory bound).
+  double conversion_ops_per_s = 0.0;
+  /// Adjacency-merge steps per second during counting.
+  double steps_per_s = 0.0;
+  /// Fixed per-run overhead (kernel launches, dispatch).
+  double fixed_overhead_s = 0.0;
+  /// Ingest bandwidth for new COO batches (dynamic updates), bytes/s.
+  double ingest_bytes_per_s = 0.0;
+  /// True when the platform must rebuild its internal structure from the
+  /// full accumulated graph on every dynamic recount (the CPU/CSR path).
+  bool rebuilds_on_update = true;
+
+  /// Modeled time of one static count run.
+  [[nodiscard]] double static_seconds(const TcWorkProfile& p) const noexcept {
+    return fixed_overhead_s +
+           static_cast<double>(p.conversion_ops) / conversion_ops_per_s +
+           static_cast<double>(p.intersection_steps) / steps_per_s;
+  }
+
+  /// Modeled time of one dynamic recount where `batch_bytes` new bytes
+  /// arrived and `p` profiles the *current full graph*.
+  [[nodiscard]] double dynamic_seconds(const TcWorkProfile& p,
+                                       std::uint64_t batch_bytes)
+      const noexcept {
+    double seconds =
+        fixed_overhead_s +
+        static_cast<double>(batch_bytes) / ingest_bytes_per_s +
+        static_cast<double>(p.intersection_steps) / steps_per_s;
+    if (rebuilds_on_update) {
+      seconds +=
+          static_cast<double>(p.conversion_ops) / conversion_ops_per_s;
+    }
+    return seconds;
+  }
+};
+
+/// Dual Xeon Silver 4215 (16C/32T) running the CSR-internal baseline [51].
+[[nodiscard]] PlatformModel xeon_4215_model() noexcept;
+
+/// NVIDIA A100 80GB running a cuGraph-style COO counter [166].
+[[nodiscard]] PlatformModel a100_model() noexcept;
+
+}  // namespace pimtc::baseline

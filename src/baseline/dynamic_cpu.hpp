@@ -1,0 +1,34 @@
+// Dynamic-graph driver for the CPU baseline (Figure 7).
+//
+// COO makes dynamic updates trivial — append the batch — but a CSR-internal
+// counter must rebuild its entire structure from the accumulated COO before
+// every recount.  This class charges exactly that: every recount() pays the
+// full conversion of everything received so far, then counts.
+#pragma once
+
+#include <span>
+
+#include "baseline/cpu_tc.hpp"
+#include "graph/coo.hpp"
+
+namespace pimtc::baseline {
+
+class DynamicCpuCounter {
+ public:
+  explicit DynamicCpuCounter(ThreadPool* pool = nullptr) : counter_(pool) {}
+
+  void add_edges(std::span<const Edge> batch) { accumulated_.append(batch); }
+
+  /// Rebuild-from-scratch recount over everything added so far.
+  [[nodiscard]] CpuTcResult recount() const { return counter_.count(accumulated_); }
+
+  [[nodiscard]] const graph::EdgeList& graph() const noexcept {
+    return accumulated_;
+  }
+
+ private:
+  CpuTriangleCounter counter_;
+  graph::EdgeList accumulated_;
+};
+
+}  // namespace pimtc::baseline

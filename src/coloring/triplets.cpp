@@ -1,0 +1,65 @@
+#include "coloring/triplets.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/math_util.hpp"
+
+namespace pimtc::color {
+
+TripletTable::TripletTable(std::uint32_t num_colors) : colors_(num_colors) {
+  if (num_colors == 0 || num_colors > 256) {
+    throw std::invalid_argument("TripletTable: colors must be in [1, 256]");
+  }
+  triplets_.reserve(pimtc::num_triplets(colors_));
+  const std::size_t c = colors_;
+  triplet_index_.assign(c * c * c, 0);
+
+  for (std::uint32_t a = 0; a < colors_; ++a) {
+    for (std::uint32_t b = a; b < colors_; ++b) {
+      for (std::uint32_t k = b; k < colors_; ++k) {
+        triplet_index_[(static_cast<std::size_t>(a) * c + b) * c + k] =
+            static_cast<std::uint32_t>(triplets_.size());
+        triplets_.push_back(Triplet{a, b, k});
+      }
+    }
+  }
+
+  // Precompute the C compatible triplets of every unordered color pair.
+  pair_targets_.resize(c * (c + 1) / 2);
+  for (std::uint32_t c1 = 0; c1 < colors_; ++c1) {
+    for (std::uint32_t c2 = c1; c2 < colors_; ++c2) {
+      auto& out = pair_targets_[pair_index(c1, c2)];
+      out.reserve(colors_);
+      for (std::uint32_t x = 0; x < colors_; ++x) {
+        // Sorted triplet containing {c1, c2, x}.
+        std::uint32_t a = c1;
+        std::uint32_t b = c2;
+        std::uint32_t k = x;
+        if (k < b) std::swap(k, b);
+        if (b < a) std::swap(b, a);
+        if (k < b) std::swap(k, b);
+        out.push_back(index_of({a, b, k}));
+      }
+    }
+  }
+}
+
+std::uint32_t TripletTable::index_of(Triplet t) const noexcept {
+  const std::size_t c = colors_;
+  return triplet_index_[(static_cast<std::size_t>(t.a) * c + t.b) * c + t.c];
+}
+
+std::uint32_t TripletTable::pair_index(std::uint32_t c1,
+                                       std::uint32_t c2) const noexcept {
+  if (c1 > c2) std::swap(c1, c2);
+  // Row-major index into the upper-triangular pair matrix.
+  return c1 * colors_ - c1 * (c1 - 1) / 2 + (c2 - c1);
+}
+
+std::span<const std::uint32_t> TripletTable::targets(
+    std::uint32_t c1, std::uint32_t c2) const noexcept {
+  return pair_targets_[pair_index(c1, c2)];
+}
+
+}  // namespace pimtc::color

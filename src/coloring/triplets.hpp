@@ -1,0 +1,82 @@
+// Color-triplet bookkeeping for the coloring-based edge partitioning
+// (paper Section 3.1).
+//
+// With C colors there are binom(C+2, 3) ordered triplets (i <= j <= k); each
+// PIM core owns exactly one.  An edge whose endpoints are colored {c1, c2}
+// is replicated to every triplet that contains the pair as a sub-multiset —
+// exactly C triplets:
+//
+//   c1 == c2 : triplets with >= 2 copies of c1 (the third color is free),
+//   c1 != c2 : triplets containing both colors (the third color is free).
+//
+// The table also exposes the structural facts the evaluation relies on:
+//  * the index of each single-color triplet (c,c,c), whose count corrects
+//    the C-fold counting of monochromatic triangles,
+//  * the triplet "kind" (1, 2 or 3 distinct colors), which determines the
+//    expected per-core load N / 3N / 6N.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimtc::color {
+
+/// Sorted color triplet (a <= b <= c).
+struct Triplet {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t c = 0;
+
+  friend constexpr auto operator<=>(const Triplet&, const Triplet&) = default;
+
+  /// Number of distinct colors (1, 2 or 3).
+  [[nodiscard]] constexpr std::uint32_t kind() const noexcept {
+    if (a == c) return 1;
+    if (a == b || b == c) return 2;
+    return 3;
+  }
+};
+
+class TripletTable {
+ public:
+  explicit TripletTable(std::uint32_t num_colors);
+
+  [[nodiscard]] std::uint32_t num_colors() const noexcept { return colors_; }
+
+  /// Number of triplets == number of PIM cores used.
+  [[nodiscard]] std::uint32_t num_triplets() const noexcept {
+    return static_cast<std::uint32_t>(triplets_.size());
+  }
+
+  [[nodiscard]] const Triplet& triplet(std::uint32_t index) const noexcept {
+    return triplets_[index];
+  }
+
+  /// Index of the sorted triplet (a <= b <= c).
+  [[nodiscard]] std::uint32_t index_of(Triplet t) const noexcept;
+
+  /// Index of the single-color triplet (c, c, c).
+  [[nodiscard]] std::uint32_t mono_index(std::uint32_t color) const noexcept {
+    return index_of({color, color, color});
+  }
+
+  /// The PIM cores compatible with an endpoint-color pair; always exactly
+  /// `num_colors()` entries.  `c1`/`c2` need not be ordered.
+  [[nodiscard]] std::span<const std::uint32_t> targets(
+      std::uint32_t c1, std::uint32_t c2) const noexcept;
+
+ private:
+  [[nodiscard]] std::uint32_t pair_index(std::uint32_t c1,
+                                         std::uint32_t c2) const noexcept;
+
+  std::uint32_t colors_;
+  std::vector<Triplet> triplets_;
+  std::vector<std::uint32_t> triplet_index_;  // dense [a][b][c] lookup
+  std::vector<std::vector<std::uint32_t>> pair_targets_;
+};
+
+}  // namespace pimtc::color

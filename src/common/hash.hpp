@@ -1,0 +1,77 @@
+// Universal hashing over node IDs.
+//
+// The coloring step of the algorithm (paper Section 3.1) colors node u with
+//     h_C(u) = ((a*u + b) mod p) mod C
+// where p is a large prime, a in [1, p-1] and b in [0, p-1] are drawn at
+// random.  This is the classic Carter-Wegman multiply-add family; with p
+// prime it is 2-universal, which is what guarantees the near-even color
+// distribution the partitioning relies on.
+#pragma once
+
+#include <cstdint>
+
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+namespace pimtc {
+
+/// The Mersenne prime 2^61 - 1.  Large enough that node IDs (32-bit) never
+/// alias, and reduction mod p can be done without 128-bit division.
+inline constexpr std::uint64_t kMersenne61 = (1ull << 61) - 1;
+
+/// Reduces a 128-bit product modulo 2^61 - 1 using the Mersenne identity
+/// x mod (2^61-1) = (x >> 61) + (x & (2^61-1)), applied twice.
+[[nodiscard]] constexpr std::uint64_t mod_mersenne61(__uint128_t x) noexcept {
+  std::uint64_t r = static_cast<std::uint64_t>(x >> 61) +
+                    static_cast<std::uint64_t>(x & kMersenne61);
+  if (r >= kMersenne61) r -= kMersenne61;
+  return r;
+}
+
+/// Carter-Wegman multiply-add hash h(u) = ((a*u + b) mod p) mod C with
+/// p = 2^61 - 1.  Immutable after construction; cheap to copy into every
+/// host thread.
+class ColorHash {
+ public:
+  /// Draws a, b from the given seed.  `num_colors` must be >= 1.
+  ColorHash(std::uint32_t num_colors, std::uint64_t seed) noexcept
+      : num_colors_(num_colors) {
+    Xoshiro256ss rng(seed);
+    a_ = 1 + rng.next_below(kMersenne61 - 1);  // a in [1, p-1]
+    b_ = rng.next_below(kMersenne61);          // b in [0, p-1]
+  }
+
+  /// Fully specified constructor (used by tests to pin the hash).
+  ColorHash(std::uint32_t num_colors, std::uint64_t a, std::uint64_t b) noexcept
+      : num_colors_(num_colors), a_(a % kMersenne61), b_(b % kMersenne61) {
+    if (a_ == 0) a_ = 1;
+  }
+
+  [[nodiscard]] std::uint32_t num_colors() const noexcept { return num_colors_; }
+  [[nodiscard]] std::uint64_t a() const noexcept { return a_; }
+  [[nodiscard]] std::uint64_t b() const noexcept { return b_; }
+
+  /// Color of node u, in [0, num_colors).
+  [[nodiscard]] std::uint32_t operator()(NodeId u) const noexcept {
+    const __uint128_t prod = static_cast<__uint128_t>(a_) * u + b_;
+    return static_cast<std::uint32_t>(mod_mersenne61(prod) % num_colors_);
+  }
+
+ private:
+  std::uint32_t num_colors_;
+  std::uint64_t a_;
+  std::uint64_t b_;
+};
+
+/// 64-bit mix used wherever a stateless scramble of an integer is needed
+/// (hash tables, sharding work across threads).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace pimtc

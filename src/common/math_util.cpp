@@ -1,0 +1,54 @@
+#include "common/math_util.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace pimtc {
+
+std::uint64_t binomial(std::uint64_t n, std::uint64_t k) noexcept {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    // Multiply first, divide after: result * (n-k+i) is always divisible by i
+    // at this point, so the division is exact.
+    result = result * (n - k + i) / i;
+  }
+  return result;
+}
+
+std::uint64_t num_triplets(std::uint32_t num_colors) noexcept {
+  return binomial(static_cast<std::uint64_t>(num_colors) + 2, 3);
+}
+
+std::uint32_t max_colors_for_cores(std::uint64_t num_cores) noexcept {
+  std::uint32_t c = 0;
+  while (num_triplets(c + 1) <= num_cores) ++c;
+  return c;
+}
+
+double reservoir_correction(std::uint64_t sample_capacity,
+                            std::uint64_t edges_seen) noexcept {
+  const std::uint64_t m = sample_capacity;
+  const std::uint64_t t = edges_seen;
+  if (t <= m) return 1.0;
+  if (m < 3) return 0.0;
+  const double md = static_cast<double>(m);
+  const double td = static_cast<double>(t);
+  return (md * (md - 1.0) * (md - 2.0)) / (td * (td - 1.0) * (td - 2.0));
+}
+
+double uniform_sampling_correction(double keep_probability) noexcept {
+  if (keep_probability <= 0.0) return std::numeric_limits<double>::infinity();
+  if (keep_probability >= 1.0) return 1.0;
+  return 1.0 / (keep_probability * keep_probability * keep_probability);
+}
+
+double relative_error(double estimate, double truth) noexcept {
+  if (truth == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+}  // namespace pimtc

@@ -1,0 +1,22 @@
+#include "common/prng.hpp"
+
+namespace pimtc {
+
+std::uint64_t Xoshiro256ss::next_below(std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire 2019: multiply-shift with rejection of the biased low range.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace pimtc

@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomized components of the library (coloring hash parameters,
+// reservoir replacement, uniform edge sampling, graph generators) take a
+// 64-bit seed so every experiment is reproducible bit-for-bit.  We provide
+// two generators:
+//
+//  * SplitMix64  - tiny, stateless-ish stream generator used for seeding and
+//                  hashing; passes BigCrush on its own.
+//  * Xoshiro256ss - the main generator (xoshiro256**), fast and with 256 bits
+//                  of state; satisfies UniformRandomBitGenerator so it plugs
+//                  into <random> distributions when needed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace pimtc {
+
+/// SplitMix64 (Steele, Lea, Flood 2014).  Used to expand one seed into many
+/// and as the stream generator in the graph generators' hot loops.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr result_type operator()() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna 2018).
+class Xoshiro256ss {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from a SplitMix64 stream, as the authors
+  /// recommend.  A zero seed is fine (SplitMix64 never emits all-zero state).
+  constexpr explicit Xoshiro256ss(std::uint64_t seed) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm();
+  }
+
+  constexpr result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  constexpr double next_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Bernoulli trial with probability p (clamped to [0,1]).
+  constexpr bool next_bernoulli(double p) noexcept {
+    if (p >= 1.0) return true;
+    if (p <= 0.0) return false;
+    return next_double() < p;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Derives a child seed from (seed, stream-id); used to give every host
+/// thread / DPU / experiment repetition an independent stream.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t seed,
+                                                  std::uint64_t stream) noexcept {
+  SplitMix64 sm(seed ^ (0x632be59bd9b4e019ull * (stream + 1)));
+  sm();
+  return sm();
+}
+
+}  // namespace pimtc

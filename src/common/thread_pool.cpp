@@ -1,0 +1,120 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace pimtc {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    try {
+      task.fn();
+    } catch (...) {
+      std::lock_guard lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0 && queue_.empty()) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(Task{std::move(fn)});
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_done_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
+  if (first_error_) {
+    auto err = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.size() == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Block distribution with one task per worker keeps queue traffic O(T).
+  const std::size_t num_tasks = std::min(n, workers_.size());
+  const std::size_t base = n / num_tasks;
+  const std::size_t rem = n % num_tasks;
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const std::size_t len = base + (t < rem ? 1 : 0);
+    const std::size_t end = begin + len;
+    submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+    begin = end;
+  }
+  wait_idle();
+}
+
+void ThreadPool::parallel_chunks(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t num_tasks = std::min(n, workers_.size());
+  if (num_tasks <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  const std::size_t base = n / num_tasks;
+  const std::size_t rem = n % num_tasks;
+  std::size_t begin = 0;
+  for (std::size_t t = 0; t < num_tasks; ++t) {
+    const std::size_t len = base + (t < rem ? 1 : 0);
+    const std::size_t end = begin + len;
+    submit([&fn, t, begin, end] { fn(t, begin, end); });
+    begin = end;
+  }
+  wait_idle();
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pimtc

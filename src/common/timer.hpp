@@ -1,0 +1,49 @@
+// Wall-clock timing helpers.
+//
+// The evaluation splits every PIM run into three phases (Setup, Sample
+// creation, Triangle count); host-side phases are wall-clock measured while
+// device-side phases come from the simulator's cycle model.  WallTimer is the
+// host half of that story.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace pimtc {
+
+class WallTimer {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  Clock::time_point start_;
+};
+
+/// Accumulates phase durations across repeated runs (mean over N runs is what
+/// the paper plots; coefficient of variance < 5%).
+struct PhaseAccumulator {
+  double total_s = 0.0;
+  std::uint64_t samples = 0;
+
+  void add(double seconds) {
+    total_s += seconds;
+    ++samples;
+  }
+
+  [[nodiscard]] double mean_s() const {
+    return samples == 0 ? 0.0 : total_s / static_cast<double>(samples);
+  }
+};
+
+}  // namespace pimtc

@@ -1,0 +1,81 @@
+// Core value types shared by every pimtc module.
+//
+// The library follows the paper's conventions: a graph is simple, unweighted
+// and undirected; vertices are identified by non-negative integers; an edge is
+// an ordered pair (u, v).  Inside PIM samples the invariant u < v holds (the
+// counting kernel requires it); in raw COO input both orders may appear.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace pimtc {
+
+/// Vertex identifier.  32 bits cover every graph in the paper (max |V| is
+/// ~214 M for V1r) and keep an Edge at 8 bytes, which matters for MRAM
+/// capacity modelling: a 64 MB DRAM bank holds exactly 8 Mi edges.
+using NodeId = std::uint32_t;
+
+/// Count of edges / triangles.  Triangle counts overflow 32 bits (Human-Jung
+/// has 4.17e10 triangles), so counts are always 64-bit.
+using EdgeCount = std::uint64_t;
+using TriangleCount = std::uint64_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// A directed pair of vertices.  POD on purpose: it is the unit of every
+/// host<->PIM transfer and of MRAM storage, so layout must be exactly
+/// 2 x 32 bits with no padding.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+
+  /// Lexicographic order used by the DPU sort phase (paper Section 3.4):
+  /// (u,v) < (w,z)  <=>  u < w  or  (u == w and v < z).
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+
+  /// Returns the edge with endpoints swapped.
+  [[nodiscard]] constexpr Edge reversed() const noexcept { return {v, u}; }
+
+  /// Returns the canonical orientation (min endpoint first) required by the
+  /// PIM counting kernel.
+  [[nodiscard]] constexpr Edge canonical() const noexcept {
+    return u <= v ? *this : Edge{v, u};
+  }
+
+  /// True when the edge is a self loop (removed during preprocessing).
+  [[nodiscard]] constexpr bool is_loop() const noexcept { return u == v; }
+};
+
+static_assert(sizeof(Edge) == 8, "Edge must be 8 bytes for MRAM modelling");
+
+/// Packs an edge into a single 64-bit key (u in the high half) so sorting a
+/// vector of keys and a vector of edges are interchangeable.
+[[nodiscard]] constexpr std::uint64_t edge_key(Edge e) noexcept {
+  return (static_cast<std::uint64_t>(e.u) << 32) | e.v;
+}
+
+[[nodiscard]] constexpr Edge edge_from_key(std::uint64_t k) noexcept {
+  return Edge{static_cast<NodeId>(k >> 32),
+              static_cast<NodeId>(k & 0xffffffffu)};
+}
+
+}  // namespace pimtc
+
+template <>
+struct std::hash<pimtc::Edge> {
+  std::size_t operator()(const pimtc::Edge& e) const noexcept {
+    // splitmix64-style finalizer over the packed key.
+    std::uint64_t x = pimtc::edge_key(e);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebull;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

@@ -1,0 +1,26 @@
+#include "graph/coo.hpp"
+
+#include <algorithm>
+
+namespace pimtc::graph {
+
+void EdgeList::assign(std::vector<Edge> edges) {
+  edges_ = std::move(edges);
+  rescan_num_nodes();
+}
+
+void EdgeList::append(std::span<const Edge> batch) {
+  edges_.reserve(edges_.size() + batch.size());
+  for (const Edge& e : batch) push_back(e);
+}
+
+void EdgeList::rescan_num_nodes() {
+  NodeId bound = 0;
+  for (const Edge& e : edges_) {
+    bound = std::max({bound, static_cast<NodeId>(e.u + 1),
+                      static_cast<NodeId>(e.v + 1)});
+  }
+  num_nodes_ = bound;
+}
+
+}  // namespace pimtc::graph

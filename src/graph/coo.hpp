@@ -1,0 +1,70 @@
+// COO (coordinate list) edge list — the input format of the whole system.
+//
+// The paper's host reads graphs as COO tuples and the PIM cores store their
+// samples as COO inside the DRAM bank; COO is also what makes the dynamic
+// use-case work (appending a batch of edges is O(batch)).  This class is a
+// thin, explicit wrapper over std::vector<Edge> that tracks the node-id
+// upper bound.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimtc::graph {
+
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  explicit EdgeList(std::vector<Edge> edges) { assign(std::move(edges)); }
+
+  /// Replaces the content and recomputes the node bound.
+  void assign(std::vector<Edge> edges);
+
+  /// Appends one edge, maintaining the node bound.
+  void push_back(Edge e) {
+    if (e.u >= num_nodes_) num_nodes_ = e.u + 1;
+    if (e.v >= num_nodes_) num_nodes_ = e.v + 1;
+    edges_.push_back(e);
+  }
+
+  /// Appends a batch (the dynamic-graph update path).
+  void append(std::span<const Edge> batch);
+
+  void reserve(std::size_t n) { edges_.reserve(n); }
+  void clear() {
+    edges_.clear();
+    num_nodes_ = 0;
+  }
+
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  /// One past the largest node id referenced by any edge (0 for an empty
+  /// list).  Isolated vertices are invisible to COO, matching the paper's
+  /// datasets where |V| counts only referenced ids.
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+
+  [[nodiscard]] bool empty() const noexcept { return edges_.empty(); }
+
+  [[nodiscard]] std::span<const Edge> edges() const noexcept { return edges_; }
+  [[nodiscard]] std::vector<Edge>& mutable_edges() noexcept { return edges_; }
+
+  [[nodiscard]] const Edge& operator[](std::size_t i) const noexcept {
+    return edges_[i];
+  }
+
+  [[nodiscard]] auto begin() const noexcept { return edges_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return edges_.end(); }
+
+  /// Recomputes the node bound after callers mutated mutable_edges().
+  void rescan_num_nodes();
+
+ private:
+  std::vector<Edge> edges_;
+  NodeId num_nodes_ = 0;
+};
+
+}  // namespace pimtc::graph

@@ -1,0 +1,63 @@
+#include "graph/csr.hpp"
+
+#include <algorithm>
+
+namespace pimtc::graph {
+
+Csr Csr::from_coo(const EdgeList& coo) { return build(coo, /*symmetric=*/false); }
+
+Csr Csr::from_coo_symmetric(const EdgeList& coo) {
+  return build(coo, /*symmetric=*/true);
+}
+
+Csr Csr::build(const EdgeList& coo, bool symmetric) {
+  const NodeId n = coo.num_nodes();
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n) + 1, 0);
+
+  // Pass 1: count arcs per source.
+  for (const Edge& e : coo) {
+    if (e.is_loop()) continue;
+    if (symmetric) {
+      ++counts[e.u + 1];
+      ++counts[e.v + 1];
+    } else {
+      ++counts[e.canonical().u + 1];
+    }
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) counts[i] += counts[i - 1];
+
+  // Pass 2: scatter raw (possibly duplicated) targets.
+  std::vector<NodeId> raw(counts.back());
+  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+  for (const Edge& e : coo) {
+    if (e.is_loop()) continue;
+    if (symmetric) {
+      raw[cursor[e.u]++] = e.v;
+      raw[cursor[e.v]++] = e.u;
+    } else {
+      const Edge c = e.canonical();
+      raw[cursor[c.u]++] = c.v;
+    }
+  }
+
+  // Pass 3: sort each row and copy unique targets into the final layout.
+  Csr csr;
+  csr.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  csr.targets_.reserve(raw.size());
+  for (NodeId u = 0; u < n; ++u) {
+    const auto row_begin = raw.begin() + static_cast<std::ptrdiff_t>(counts[u]);
+    const auto row_end = raw.begin() + static_cast<std::ptrdiff_t>(counts[u + 1]);
+    std::sort(row_begin, row_end);
+    NodeId prev = kInvalidNode;
+    for (auto it = row_begin; it != row_end; ++it) {
+      if (*it != prev) {
+        prev = *it;
+        csr.targets_.push_back(prev);
+      }
+    }
+    csr.offsets_[u + 1] = csr.targets_.size();
+  }
+  return csr;
+}
+
+}  // namespace pimtc::graph

@@ -1,0 +1,87 @@
+#include "graph/io.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace pimtc::graph {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'P', 'I', 'M', 'T', 'C', 'C', 'O', '1'};
+
+[[noreturn]] void fail(const std::filesystem::path& path, const char* what) {
+  throw std::runtime_error("pimtc::graph IO error on '" + path.string() +
+                           "': " + what);
+}
+
+}  // namespace
+
+EdgeList read_coo_text(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  EdgeList list;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    const char* p = line.c_str();
+    char* end = nullptr;
+    u = std::strtoull(p, &end, 10);
+    if (end == p) fail(path, "malformed line (expected two integers)");
+    p = end;
+    v = std::strtoull(p, &end, 10);
+    if (end == p) fail(path, "malformed line (expected two integers)");
+    if (u > 0xffffffffull || v > 0xffffffffull) fail(path, "node id > 2^32-1");
+    list.push_back(Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)});
+  }
+  return list;
+}
+
+void write_coo_text(const EdgeList& list, const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) fail(path, "cannot open for writing");
+  out << "# pimtc COO edge list; " << list.num_edges() << " edges, "
+      << list.num_nodes() << " nodes\n";
+  for (const Edge& e : list) out << e.u << ' ' << e.v << '\n';
+  if (!out) fail(path, "write failed");
+}
+
+EdgeList read_coo_binary(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || magic != kMagic) fail(path, "bad magic (not a pimtc COO file)");
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in) fail(path, "truncated header");
+  std::vector<Edge> edges(count);
+  in.read(reinterpret_cast<char*>(edges.data()),
+          static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!in) fail(path, "truncated edge payload");
+  return EdgeList(std::move(edges));
+}
+
+void write_coo_binary(const EdgeList& list, const std::filesystem::path& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t count = list.num_edges();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  out.write(reinterpret_cast<const char*>(list.edges().data()),
+            static_cast<std::streamsize>(count * sizeof(Edge)));
+  if (!out) fail(path, "write failed");
+}
+
+EdgeList read_coo(const std::filesystem::path& path) {
+  return path.extension() == ".bin" ? read_coo_binary(path)
+                                    : read_coo_text(path);
+}
+
+}  // namespace pimtc::graph

@@ -1,0 +1,25 @@
+// COO file IO.
+//
+// Text format: one "u v" pair per line; lines starting with '#' or '%' are
+// comments (SNAP / KONECT conventions).  Binary format: magic "PIMTCCO1",
+// a uint64 edge count, then raw little-endian Edge records — the fast path
+// for benchmark fixtures.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "graph/coo.hpp"
+
+namespace pimtc::graph {
+
+[[nodiscard]] EdgeList read_coo_text(const std::filesystem::path& path);
+void write_coo_text(const EdgeList& list, const std::filesystem::path& path);
+
+[[nodiscard]] EdgeList read_coo_binary(const std::filesystem::path& path);
+void write_coo_binary(const EdgeList& list, const std::filesystem::path& path);
+
+/// Dispatches on extension: ".bin" -> binary, anything else -> text.
+[[nodiscard]] EdgeList read_coo(const std::filesystem::path& path);
+
+}  // namespace pimtc::graph

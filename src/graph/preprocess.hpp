@@ -1,0 +1,33 @@
+// Input preprocessing, mirroring the paper's methodology (Section 4.1):
+// "The graphs were preprocessed by: removing duplicate edges and self-loops
+//  ...; shuffling the resulting graph using the command line utility shuf."
+//
+// Duplicate detection treats (u,v) and (v,u) as the same undirected edge.
+// The shuffle is a seeded Fisher-Yates so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/coo.hpp"
+
+namespace pimtc::graph {
+
+struct PreprocessStats {
+  std::size_t input_edges = 0;
+  std::size_t removed_self_loops = 0;
+  std::size_t removed_duplicates = 0;
+  std::size_t output_edges = 0;
+};
+
+/// Removes self loops and duplicate undirected edges in place.  The surviving
+/// copy of each edge keeps its original orientation (the PIM kernel
+/// canonicalizes on insert; the COO stream stays "as read").
+PreprocessStats remove_loops_and_duplicates(EdgeList& list);
+
+/// Seeded uniform shuffle of the edge order (stand-in for `shuf`).
+void shuffle_edges(EdgeList& list, std::uint64_t seed);
+
+/// Full pipeline: dedup + de-loop + shuffle.
+PreprocessStats preprocess(EdgeList& list, std::uint64_t seed);
+
+}  // namespace pimtc::graph

@@ -1,0 +1,37 @@
+#include "graph/reference_tc.hpp"
+
+#include <algorithm>
+
+namespace pimtc::graph {
+
+TriangleCount reference_triangle_count(const Csr& csr) {
+  TriangleCount total = 0;
+  const NodeId n = csr.num_nodes();
+  for (NodeId u = 0; u < n; ++u) {
+    const auto nu = csr.neighbors(u);
+    for (const NodeId v : nu) {
+      const auto nv = csr.neighbors(v);
+      // Sorted-merge intersection of N+(u) and N+(v).
+      auto it_u = nu.begin();
+      auto it_v = nv.begin();
+      while (it_u != nu.end() && it_v != nv.end()) {
+        if (*it_u < *it_v) {
+          ++it_u;
+        } else if (*it_u > *it_v) {
+          ++it_v;
+        } else {
+          ++total;
+          ++it_u;
+          ++it_v;
+        }
+      }
+    }
+  }
+  return total;
+}
+
+TriangleCount reference_triangle_count(const EdgeList& coo) {
+  return reference_triangle_count(Csr::from_coo(coo));
+}
+
+}  // namespace pimtc::graph

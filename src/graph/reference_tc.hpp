@@ -1,0 +1,21 @@
+// Trusted exact triangle counter used as ground truth by every test and by
+// the relative-error tables.  Forward/node-iterator algorithm on the
+// u<v-oriented CSR: for each arc (u, v), |N+(u) ∩ N+(v)| triangles.
+// O(sum_over_arcs min(deg+(u), deg+(v))) — fine at test scale, and an
+// independent implementation from both the PIM kernel and the CPU baseline,
+// so agreement between the three is meaningful.
+#pragma once
+
+#include "common/types.hpp"
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+
+namespace pimtc::graph {
+
+/// Exact count on a prebuilt forward CSR.
+[[nodiscard]] TriangleCount reference_triangle_count(const Csr& forward_csr);
+
+/// Convenience overload: builds the CSR from COO first.
+[[nodiscard]] TriangleCount reference_triangle_count(const EdgeList& coo);
+
+}  // namespace pimtc::graph

@@ -1,0 +1,48 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+
+#include "graph/csr.hpp"
+
+namespace pimtc::graph {
+
+std::vector<EdgeCount> degrees(const EdgeList& list) {
+  const Csr sym = Csr::from_coo_symmetric(list);
+  std::vector<EdgeCount> deg(sym.num_nodes(), 0);
+  for (NodeId u = 0; u < sym.num_nodes(); ++u) deg[u] = sym.degree(u);
+  return deg;
+}
+
+DegreeStats degree_stats(const EdgeList& list) {
+  DegreeStats stats;
+  const auto deg = degrees(list);
+  if (deg.empty()) return stats;
+
+  EdgeCount total = 0;
+  NodeId touched = 0;
+  for (NodeId u = 0; u < deg.size(); ++u) {
+    const EdgeCount d = deg[u];
+    total += d;
+    if (d > 0) ++touched;
+    if (d > stats.max_degree) {
+      stats.max_degree = d;
+      stats.argmax_node = u;
+    }
+    stats.num_wedges += d * (d - 1) / 2;
+  }
+  // Average over nodes that appear in the edge list, matching how the paper
+  // reports |V| for COO datasets.
+  stats.avg_degree =
+      touched == 0 ? 0.0
+                   : static_cast<double>(total) / static_cast<double>(touched);
+  return stats;
+}
+
+double global_clustering(const EdgeList& list, TriangleCount triangles) {
+  const DegreeStats stats = degree_stats(list);
+  if (stats.num_wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(triangles) /
+         static_cast<double>(stats.num_wedges);
+}
+
+}  // namespace pimtc::graph

@@ -1,0 +1,31 @@
+// Graph statistics used by the evaluation (Table 2) and by the stand-in
+// validation: max/average degree and the global clustering coefficient
+//   GCC = 3 * (#triangles) / (#wedges),   wedges = sum_u deg(u)*(deg(u)-1)/2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/coo.hpp"
+
+namespace pimtc::graph {
+
+struct DegreeStats {
+  EdgeCount max_degree = 0;
+  double avg_degree = 0.0;
+  EdgeCount num_wedges = 0;
+  NodeId argmax_node = kInvalidNode;
+};
+
+/// Degrees in the undirected simple graph induced by `list` (duplicates
+/// counted once, self loops ignored).
+[[nodiscard]] std::vector<EdgeCount> degrees(const EdgeList& list);
+
+[[nodiscard]] DegreeStats degree_stats(const EdgeList& list);
+
+/// Global clustering coefficient given a triangle count (callers typically
+/// pass the exact reference count).
+[[nodiscard]] double global_clustering(const EdgeList& list,
+                                       TriangleCount triangles);
+
+}  // namespace pimtc::graph

@@ -1,0 +1,120 @@
+// Configuration and calibration constants of the PIM system model.
+//
+// The simulator is *functional* (kernels really execute and produce exact
+// results) with an attached first-order timing model.  The default constants
+// describe the paper's evaluation platform — 20 P21 UPMEM DIMMs, 2560 DPUs —
+// with per-component numbers taken from the public UPMEM characterization
+// literature (Gómez-Luna et al., "Benchmarking a New Paradigm: Experimental
+// Analysis and Characterization of a Real Processing-in-Memory System",
+// IEEE Access 2022) and the UPMEM user manual:
+//
+//  * DPU: 32-bit in-order core, 14-stage pipeline, fine-grained
+//    multithreading over software "tasklets".  One tasklet can issue at most
+//    one instruction every 11 cycles; >= 11 resident tasklets sustain
+//    1 instr/cycle aggregate.  350 MHz.
+//  * MRAM (the 64 MB DRAM bank) is reachable only through DMA to the 64 KB
+//    WRAM scratchpad; a transfer costs roughly a fixed ~77-cycle setup plus
+//    ~0.5 cycles/byte (saturating near 700 MB/s per DPU).
+//  * Host <-> MRAM transfers are performed rank-parallel by the host CPU;
+//    aggregate bandwidth saturates in the ~6 GB/s range for parallel
+//    transfers across many ranks, with a per-batch software latency.
+//  * DPU allocation + program (IRAM) load is a host-side cost that grows
+//    with the number of ranks touched — this is what makes small graphs
+//    regress at high core counts in Figure 4.
+//
+// Everything is a plain struct field so ablation benches can sweep it.
+#pragma once
+
+#include <cstdint>
+
+namespace pimtc::pim {
+
+struct PimSystemConfig {
+  // ---- topology -----------------------------------------------------------
+  std::uint32_t dpus_per_rank = 64;   ///< 8 chips x 8 DPUs per rank
+  std::uint32_t max_dpus = 2560;      ///< 20 DIMMs x 2 ranks x 64 DPUs
+  std::uint64_t mram_bytes = 64ull << 20;  ///< DRAM bank per DPU
+  std::uint32_t wram_bytes = 64u << 10;    ///< scratchpad per DPU
+  std::uint32_t iram_bytes = 24u << 10;    ///< instruction memory per DPU
+  std::uint32_t max_tasklets = 24;         ///< hardware thread contexts
+
+  // ---- DPU pipeline -------------------------------------------------------
+  double dpu_mhz = 350.0;
+  /// A single tasklet issues one instruction every `pipeline_depth` cycles;
+  /// this many resident tasklets are needed for full 1-instr/cycle issue.
+  std::uint32_t pipeline_saturation_tasklets = 11;
+
+  // ---- MRAM <-> WRAM DMA --------------------------------------------------
+  /// Latency observed by the *issuing tasklet* per transfer; hidden by the
+  /// other resident tasklets (fine-grained multithreading).
+  double dma_setup_cycles = 77.0;
+  /// Shared-engine occupancy per transfer (request handling); transfers
+  /// from different tasklets serialize only on this plus the byte time.
+  double dma_engine_cycles = 24.0;
+  double dma_cycles_per_byte = 0.5;
+  /// DMA transfer size granularity (hardware moves 8-byte aligned bursts).
+  std::uint32_t dma_alignment_bytes = 8;
+
+  // ---- host <-> MRAM transfer engine -------------------------------------
+  /// Aggregate push bandwidth when all ranks transfer in parallel.
+  double host_push_gb_s = 6.0;
+  /// Gather direction is slower on real hardware.
+  double host_pull_gb_s = 4.7;
+  /// Fixed software cost per transfer batch (driver + rank programming).
+  double host_xfer_latency_s = 30e-6;
+  /// Per-rank bandwidth share; with few ranks the aggregate cannot reach the
+  /// cap above: effective_bw = min(cap, ranks * per_rank).
+  double host_per_rank_gb_s = 0.35;
+
+  // ---- setup phase --------------------------------------------------------
+  double alloc_base_s = 2.0e-3;      ///< dpu_alloc() fixed cost
+  double alloc_per_rank_s = 0.9e-3;  ///< rank discovery / reset
+  double program_load_per_rank_s = 0.35e-3;  ///< broadcast IRAM image
+  double launch_overhead_s = 25e-6;  ///< per kernel launch (boot + fault poll)
+
+  /// Number of ranks needed for `dpus` DPUs.
+  [[nodiscard]] std::uint32_t ranks_for(std::uint32_t dpus) const noexcept {
+    return (dpus + dpus_per_rank - 1) / dpus_per_rank;
+  }
+
+  /// Seconds for one DPU-side cycle count.
+  [[nodiscard]] double cycles_to_seconds(double cycles) const noexcept {
+    return cycles / (dpu_mhz * 1e6);
+  }
+
+  /// Host->MRAM (push) or MRAM->host (pull) batch transfer time.
+  [[nodiscard]] double transfer_seconds(std::uint64_t total_bytes,
+                                        std::uint32_t dpus_involved,
+                                        bool push) const noexcept {
+    const double cap = (push ? host_push_gb_s : host_pull_gb_s) * 1e9;
+    const double ranks = ranks_for(dpus_involved == 0 ? 1 : dpus_involved);
+    const double bw = ranks * host_per_rank_gb_s * 1e9 < cap
+                          ? ranks * host_per_rank_gb_s * 1e9
+                          : cap;
+    return host_xfer_latency_s + static_cast<double>(total_bytes) / bw;
+  }
+
+  /// Setup-phase model: allocation + program load for `dpus` DPUs.
+  [[nodiscard]] double setup_seconds(std::uint32_t dpus) const noexcept {
+    const double ranks = ranks_for(dpus);
+    return alloc_base_s + ranks * (alloc_per_rank_s + program_load_per_rank_s);
+  }
+};
+
+/// Abstract instruction-cost table for the kernels (counts of issued
+/// instructions per algorithmic step).  Derived from hand-counting the
+/// inner loops of the equivalent UPMEM C kernels; kept in one place so the
+/// ablation bench can stress the model's sensitivity.
+struct KernelCostModel {
+  std::uint32_t sort_step = 14;        ///< per element-compare-swap in WRAM quicksort
+  std::uint32_t merge_pick = 10;       ///< per element consumed in a 2-way MRAM merge
+  std::uint32_t binary_search_step = 16;  ///< per probe (index arithmetic + compare)
+  std::uint32_t count_merge_step = 9;  ///< per comparison in the neighbor merge
+  std::uint32_t reservoir_offer = 12;  ///< coin toss + slot pick
+  std::uint32_t edge_copy = 4;         ///< register moves per edge staged
+  std::uint32_t remap_lookup = 11;     ///< hash-table probe for high-degree remap
+  std::uint32_t region_scan_step = 7;  ///< per edge when building the region index
+  std::uint32_t loop_overhead = 3;     ///< per outer-loop iteration bookkeeping
+};
+
+}  // namespace pimtc::pim

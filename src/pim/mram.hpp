@@ -1,0 +1,78 @@
+// MRAM bank model: the 64 MB DRAM bank attached to one DPU.
+//
+// Functionally a flat byte array with bounds enforcement — capacity is the
+// *architectural* constraint that motivates reservoir sampling (paper
+// Section 3.3).  Storage is paged (64 KB pages allocated on first write) so
+// simulating thousands of DPUs costs memory proportional to the bytes
+// actually touched, even when data structures sit at capacity-derived
+// offsets deep inside the bank.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace pimtc::pim {
+
+class PimMemoryError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class MramBank {
+ public:
+  explicit MramBank(std::uint64_t capacity_bytes)
+      : capacity_(capacity_bytes),
+        pages_((capacity_bytes + kPageBytes - 1) / kPageBytes) {}
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Largest offset ever written + 1; proxy for bank occupancy.
+  [[nodiscard]] std::uint64_t high_water() const noexcept {
+    return high_water_;
+  }
+
+  /// Bytes of host memory actually backing this bank.
+  [[nodiscard]] std::uint64_t resident_bytes() const noexcept {
+    return resident_pages_ * kPageBytes;
+  }
+
+  void write(std::uint64_t offset, const void* src, std::size_t bytes);
+  void read(std::uint64_t offset, void* dst, std::size_t bytes) const;
+
+  /// Typed helpers for single records.
+  template <typename T>
+  void write_t(std::uint64_t offset, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    write(offset, &value, sizeof(T));
+  }
+
+  template <typename T>
+  [[nodiscard]] T read_t(std::uint64_t offset) const {
+    T value;
+    read(offset, &value, sizeof(T));
+    return value;
+  }
+
+  void clear() {
+    for (auto& p : pages_) p.reset();
+    resident_pages_ = 0;
+    high_water_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kPageBytes = 64 << 10;
+
+  struct Page {
+    std::uint8_t data[kPageBytes];
+  };
+
+  std::uint64_t capacity_;
+  std::vector<std::unique_ptr<Page>> pages_;
+  std::uint64_t resident_pages_ = 0;
+  std::uint64_t high_water_ = 0;
+};
+
+}  // namespace pimtc::pim

@@ -1,0 +1,80 @@
+#include "pim/system.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace pimtc::pim {
+
+PimSystem::PimSystem(const PimSystemConfig& config, std::uint32_t num_dpus,
+                     ThreadPool* pool)
+    : config_(config), pool_(pool ? pool : &ThreadPool::global()) {
+  if (num_dpus == 0) {
+    throw std::invalid_argument("PimSystem: need at least one DPU");
+  }
+  if (num_dpus > config.max_dpus) {
+    throw std::invalid_argument(
+        "PimSystem: requested " + std::to_string(num_dpus) +
+        " DPUs but the machine has " + std::to_string(config.max_dpus));
+  }
+  dpus_.reserve(num_dpus);
+  for (std::uint32_t i = 0; i < num_dpus; ++i) {
+    dpus_.push_back(std::make_unique<Dpu>(config_, i));
+  }
+  times_.setup_s += config_.setup_seconds(num_dpus);
+}
+
+void PimSystem::charge_push(std::uint64_t total_bytes,
+                            std::uint32_t dpus_involved,
+                            double PimPhaseTimes::* phase) {
+  times_.*phase +=
+      config_.transfer_seconds(total_bytes, dpus_involved, /*push=*/true);
+}
+
+void PimSystem::charge_pull(std::uint64_t total_bytes,
+                            std::uint32_t dpus_involved,
+                            double PimPhaseTimes::* phase) {
+  times_.*phase +=
+      config_.transfer_seconds(total_bytes, dpus_involved, /*push=*/false);
+}
+
+void PimSystem::charge_host(double seconds, double PimPhaseTimes::* phase) {
+  times_.*phase += seconds;
+}
+
+void PimSystem::launch(const std::function<void(Dpu&)>& kernel,
+                       double PimPhaseTimes::* phase) {
+  launch_on(num_dpus(), kernel, phase);
+}
+
+void PimSystem::launch_on(std::uint32_t count,
+                          const std::function<void(Dpu&)>& kernel,
+                          double PimPhaseTimes::* phase) {
+  if (count > num_dpus()) {
+    throw std::invalid_argument("PimSystem::launch_on: count > num_dpus");
+  }
+  // Snapshot cycle counters so the kernel's cost is measured in isolation.
+  std::vector<double> before(count);
+  for (std::uint32_t i = 0; i < count; ++i) before[i] = dpus_[i]->cycles();
+
+  pool_->parallel_for(count, [&](std::size_t i) {
+    dpus_[i]->wram().reset();
+    kernel(*dpus_[i]);
+  });
+
+  double max_cycles = 0.0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    max_cycles = std::max(max_cycles, dpus_[i]->cycles() - before[i]);
+  }
+  times_.*phase +=
+      config_.launch_overhead_s + config_.cycles_to_seconds(max_cycles);
+}
+
+std::uint64_t PimSystem::total_mram_high_water() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& d : dpus_) total += d->mram().high_water();
+  return total;
+}
+
+}  // namespace pimtc::pim

@@ -1,0 +1,108 @@
+// PimSystem: a set of allocated DPUs plus the host-side transfer engine.
+//
+// Mirrors the UPMEM host API surface the paper's implementation uses:
+// allocate a DPU set, push data to each DPU's MRAM (rank-parallel batched
+// transfers), launch a kernel on every DPU, pull results back.  Each of
+// those steps returns / accumulates *simulated* seconds from the timing
+// model in PimSystemConfig, split into the paper's three phases:
+//
+//   Setup           — allocation + program load (+ host-side init, added by
+//                     the orchestrator),
+//   Sample creation — batched host->MRAM edge transfers + DPU-side receive,
+//   Triangle count  — kernel execution + result gather.
+//
+// Functional execution of the per-DPU kernels is parallelized across host
+// threads; simulated kernel time is the max over DPUs, matching a real
+// launch that waits for the slowest DPU.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "pim/config.hpp"
+#include "pim/dpu.hpp"
+
+namespace pimtc::pim {
+
+/// Wall-clock of one run, split as in Section 4.1 of the paper.  The three
+/// named phases hold *simulated* time (device cycles + modeled transfers);
+/// `host_s` holds *measured* host-CPU seconds (file streaming, batch
+/// building, Misra-Gries) on the local machine — kept separate so projection
+/// to other host hardware stays possible (see bench/fig7).
+struct PimPhaseTimes {
+  double setup_s = 0.0;
+  double sample_creation_s = 0.0;
+  double count_s = 0.0;
+  double host_s = 0.0;
+
+  [[nodiscard]] double total_s() const noexcept {
+    return setup_s + sample_creation_s + count_s + host_s;
+  }
+
+  PimPhaseTimes& operator+=(const PimPhaseTimes& other) noexcept {
+    setup_s += other.setup_s;
+    sample_creation_s += other.sample_creation_s;
+    count_s += other.count_s;
+    host_s += other.host_s;
+    return *this;
+  }
+};
+
+class PimSystem {
+ public:
+  /// Allocates `num_dpus` DPUs (throws if the machine has fewer) and charges
+  /// the allocation + program-load cost to the setup phase.
+  PimSystem(const PimSystemConfig& config, std::uint32_t num_dpus,
+            ThreadPool* pool = nullptr);
+
+  [[nodiscard]] std::uint32_t num_dpus() const noexcept {
+    return static_cast<std::uint32_t>(dpus_.size());
+  }
+  [[nodiscard]] Dpu& dpu(std::uint32_t i) noexcept { return *dpus_[i]; }
+  [[nodiscard]] const Dpu& dpu(std::uint32_t i) const noexcept {
+    return *dpus_[i];
+  }
+  [[nodiscard]] const PimSystemConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Charges one rank-parallel push of `total_bytes` spread over
+  /// `dpus_involved` DPUs to the given phase.  (The functional payload
+  /// delivery is done by the caller through dpu(i).mram() or the receive
+  /// hook — the system only owns the timing.)
+  void charge_push(std::uint64_t total_bytes, std::uint32_t dpus_involved,
+                   double PimPhaseTimes::* phase);
+  void charge_pull(std::uint64_t total_bytes, std::uint32_t dpus_involved,
+                   double PimPhaseTimes::* phase);
+
+  /// Adds host-measured seconds (file reading, batch building, ...) to a
+  /// phase.
+  void charge_host(double seconds, double PimPhaseTimes::* phase);
+
+  /// Runs `kernel(dpu)` on every DPU (host-thread parallel).  Simulated
+  /// duration = launch overhead + max over DPUs of the cycles the kernel
+  /// charged; accumulated into `phase`.
+  void launch(const std::function<void(Dpu&)>& kernel,
+              double PimPhaseTimes::* phase);
+
+  /// Same, but only over DPUs [0, count).
+  void launch_on(std::uint32_t count, const std::function<void(Dpu&)>& kernel,
+                 double PimPhaseTimes::* phase);
+
+  [[nodiscard]] const PimPhaseTimes& times() const noexcept { return times_; }
+  void reset_times() noexcept { times_ = {}; }
+
+  /// Sum of MRAM high-water marks — how much DRAM-bank memory the run used.
+  [[nodiscard]] std::uint64_t total_mram_high_water() const noexcept;
+
+ private:
+  PimSystemConfig config_;
+  std::vector<std::unique_ptr<Dpu>> dpus_;
+  ThreadPool* pool_;
+  PimPhaseTimes times_;
+};
+
+}  // namespace pimtc::pim

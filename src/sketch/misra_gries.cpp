@@ -1,0 +1,85 @@
+#include "sketch/misra_gries.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pimtc::sketch {
+
+MisraGries::MisraGries(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("MisraGries: capacity must be >= 1");
+  }
+  counters_.reserve(capacity * 2);
+}
+
+void MisraGries::update(NodeId node) {
+  ++updates_;
+  if (auto it = counters_.find(node); it != counters_.end()) {
+    ++it->second;
+    return;
+  }
+  if (counters_.size() < capacity_) {
+    counters_.emplace(node, 1);
+    return;
+  }
+  decrement_all();
+}
+
+void MisraGries::decrement_all() {
+  // Decrement every counter and drop zeros.  Amortized O(1) per update:
+  // each decrement pass removes K units of "credit" paid in by insertions.
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (--it->second == 0) {
+      it = counters_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void MisraGries::merge(const MisraGries& other) {
+  updates_ += other.updates_;
+  for (const auto& [node, count] : other.counters_) {
+    counters_[node] += count;
+  }
+  if (counters_.size() <= capacity_) return;
+
+  // Find the (capacity+1)-th largest counter and subtract it everywhere,
+  // dropping non-positive entries; at most `capacity` survive.
+  std::vector<std::uint64_t> values;
+  values.reserve(counters_.size());
+  for (const auto& [node, count] : counters_) values.push_back(count);
+  std::nth_element(values.begin(), values.begin() + capacity_, values.end(),
+                   std::greater<>());
+  const std::uint64_t pivot = values[capacity_];
+
+  for (auto it = counters_.begin(); it != counters_.end();) {
+    if (it->second <= pivot) {
+      it = counters_.erase(it);
+    } else {
+      it->second -= pivot;
+      ++it;
+    }
+  }
+}
+
+std::uint64_t MisraGries::estimate(NodeId node) const {
+  const auto it = counters_.find(node);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::vector<NodeId> MisraGries::top(std::size_t t) const {
+  std::vector<std::pair<NodeId, std::uint64_t>> items(counters_.begin(),
+                                                      counters_.end());
+  std::sort(items.begin(), items.end(), [](const auto& x, const auto& y) {
+    if (x.second != y.second) return x.second > y.second;
+    return x.first < y.first;
+  });
+  if (items.size() > t) items.resize(t);
+  std::vector<NodeId> result;
+  result.reserve(items.size());
+  for (const auto& [node, count] : items) result.push_back(node);
+  return result;
+}
+
+}  // namespace pimtc::sketch

@@ -1,0 +1,66 @@
+// Misra-Gries heavy-hitter summary (paper Section 3.5).
+//
+// Each host thread runs one summary with K counters over the node ids it
+// sees in its section of the edge stream (each edge contributes both
+// endpoints).  The guarantee used by the paper: any node whose frequency in
+// a thread's section of n updates exceeds n/K is present in that thread's
+// table at the end of the stream.  Per-thread summaries are merged
+// (Agarwal et al. mergeable-summaries construction, which preserves the
+// error bound) and the global top-t nodes become the remap set sent to the
+// PIM cores.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace pimtc::sketch {
+
+class MisraGries {
+ public:
+  /// `capacity` is the parameter K: the maximum number of tracked entries.
+  explicit MisraGries(std::size_t capacity);
+
+  /// Processes one occurrence of `node`.
+  void update(NodeId node);
+
+  /// Processes both endpoints of an edge (degree counting).
+  void update_edge(Edge e) {
+    update(e.u);
+    update(e.v);
+  }
+
+  /// Merges another summary into this one, keeping the K largest combined
+  /// counters and subtracting the (K+1)-th (the standard mergeable-summary
+  /// rule; the result is again a valid MG summary for the combined stream).
+  void merge(const MisraGries& other);
+
+  /// Estimated frequency (0 when untracked).  Underestimates by at most
+  /// n/K where n is the number of updates absorbed.
+  [[nodiscard]] std::uint64_t estimate(NodeId node) const;
+
+  /// The top `t` tracked nodes by estimated frequency, highest first.
+  /// Deterministic: ties break toward the smaller node id.
+  [[nodiscard]] std::vector<NodeId> top(std::size_t t) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return counters_.size(); }
+  [[nodiscard]] std::uint64_t updates() const noexcept { return updates_; }
+
+  /// All tracked (node, estimate) pairs, unsorted.
+  [[nodiscard]] const std::unordered_map<NodeId, std::uint64_t>& entries()
+      const noexcept {
+    return counters_;
+  }
+
+ private:
+  void decrement_all();
+
+  std::size_t capacity_;
+  std::uint64_t updates_ = 0;
+  std::unordered_map<NodeId, std::uint64_t> counters_;
+};
+
+}  // namespace pimtc::sketch

@@ -1,0 +1,97 @@
+// Reservoir sampling (paper Section 3.3, after TRIÈST).
+//
+// Each PIM core keeps at most M edges in its DRAM bank.  For the t-th edge
+// offered (t > M) a biased coin with heads probability M/t decides whether a
+// uniformly random resident edge is replaced.  The decision logic is
+// factored out of the storage (`ReservoirPolicy`) because in the simulator
+// the storage is the DPU's MRAM, not a host vector; `ReservoirSampler<T>`
+// composes the two for host-side use and tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace pimtc::sketch {
+
+/// Decision outcomes for one offered item.
+struct ReservoirDecision {
+  enum class Action : std::uint8_t {
+    kAppend,   // t <= M: store at the next free slot
+    kReplace,  // heads: overwrite slot `slot`
+    kDiscard,  // tails: drop the offered item
+  };
+  Action action = Action::kDiscard;
+  std::uint64_t slot = 0;
+};
+
+class ReservoirPolicy {
+ public:
+  ReservoirPolicy(std::uint64_t capacity, std::uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  /// Registers the next offered item and returns what to do with it.
+  ReservoirDecision offer() {
+    ++seen_;
+    if (seen_ <= capacity_) {
+      return {ReservoirDecision::Action::kAppend, seen_ - 1};
+    }
+    // Heads with probability M/t: keep the newcomer in a random slot.
+    if (rng_.next_below(seen_) < capacity_) {
+      return {ReservoirDecision::Action::kReplace, rng_.next_below(capacity_)};
+    }
+    return {ReservoirDecision::Action::kDiscard, 0};
+  }
+
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Total items offered so far — the `t` in the correction factor.
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+
+  [[nodiscard]] std::uint64_t stored() const noexcept {
+    return seen_ < capacity_ ? seen_ : capacity_;
+  }
+
+ private:
+  std::uint64_t capacity_;
+  std::uint64_t seen_ = 0;
+  Xoshiro256ss rng_;
+};
+
+/// Host-side reservoir over arbitrary items.
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(std::uint64_t capacity, std::uint64_t seed)
+      : policy_(capacity, seed) {
+    items_.reserve(static_cast<std::size_t>(capacity));
+  }
+
+  void offer(const T& item) {
+    const ReservoirDecision d = policy_.offer();
+    switch (d.action) {
+      case ReservoirDecision::Action::kAppend:
+        items_.push_back(item);
+        break;
+      case ReservoirDecision::Action::kReplace:
+        items_[static_cast<std::size_t>(d.slot)] = item;
+        break;
+      case ReservoirDecision::Action::kDiscard:
+        break;
+    }
+  }
+
+  [[nodiscard]] const std::vector<T>& items() const noexcept { return items_; }
+  [[nodiscard]] std::uint64_t seen() const noexcept { return policy_.seen(); }
+  [[nodiscard]] std::uint64_t capacity() const noexcept {
+    return policy_.capacity();
+  }
+
+ private:
+  ReservoirPolicy policy_;
+  std::vector<T> items_;
+};
+
+}  // namespace pimtc::sketch

@@ -1,0 +1,53 @@
+// Uniform edge sampling at the host (paper Section 3.2, after DOULION).
+//
+// While reading the input stream the host discards each edge with
+// probability 1-p before it ever reaches batch building, shrinking both the
+// host work and the CPU->PIM transfer volume.  The final count is corrected
+// by 1/p^3 (a triangle survives iff all three of its edges do).
+#pragma once
+
+#include "common/math_util.hpp"
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+namespace pimtc::sketch {
+
+class UniformSampler {
+ public:
+  /// keep_probability == 1 short-circuits to "keep everything" (exact mode).
+  UniformSampler(double keep_probability, std::uint64_t seed)
+      : p_(keep_probability), rng_(seed) {}
+
+  [[nodiscard]] bool keep(const Edge& /*edge*/) {
+    if (p_ >= 1.0) {
+      ++kept_;
+      ++seen_;
+      return true;
+    }
+    ++seen_;
+    if (rng_.next_bernoulli(p_)) {
+      ++kept_;
+      return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] double keep_probability() const noexcept { return p_; }
+
+  /// Multiplier that converts a count over the sampled graph into an
+  /// unbiased estimate for the full graph.
+  [[nodiscard]] double correction() const noexcept {
+    return uniform_sampling_correction(p_);
+  }
+
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  [[nodiscard]] std::uint64_t kept() const noexcept { return kept_; }
+
+ private:
+  double p_;
+  Xoshiro256ss rng_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t kept_ = 0;
+};
+
+}  // namespace pimtc::sketch

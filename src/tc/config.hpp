@@ -1,0 +1,53 @@
+// Configuration of the PIM triangle-counting pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "pim/config.hpp"
+
+namespace pimtc::tc {
+
+struct TcConfig {
+  /// Number of vertex colors C.  The run uses binom(C+2, 3) PIM cores
+  /// (23 colors -> 2300 DPUs on the paper's 2560-DPU machine).
+  std::uint32_t num_colors = 4;
+
+  /// PIM threads per core; the paper evaluates with 16.
+  std::uint32_t tasklets = 16;
+
+  /// Host CPU threads (0 = hardware concurrency); the paper uses 32.
+  std::uint32_t host_threads = 0;
+
+  /// Maximum edges stored per PIM core (the reservoir capacity M).
+  /// 0 derives the largest capacity that fits the DRAM bank layout
+  /// (sample + sort scratch + region index).  Table 4 sets this to a
+  /// fraction of the expected per-core load 6|E|/C^2.
+  std::uint64_t sample_capacity_edges = 0;
+
+  /// Uniform (DOULION) keep probability p; 1.0 = exact mode.
+  double uniform_p = 1.0;
+
+  /// Misra-Gries high-degree remapping (paper Section 3.5).
+  bool misra_gries_enabled = false;
+  std::uint32_t mg_capacity = 1024;  ///< K: counters per host-thread summary
+  std::uint32_t mg_top = 16;         ///< t: nodes remapped on the PIM cores
+
+  /// Per-stream WRAM staging buffer, in edges, for the counting kernel.
+  std::uint32_t wram_buffer_edges = 64;
+
+  /// Dynamic-graph mode: after the first full count, recount() processes
+  /// only newly added edges against a persistent sorted arc array on each
+  /// core (paper Section 4.6).  Falls back to full recounting whenever a
+  /// reservoir overflowed (the sample is no longer append-only).  With
+  /// Misra-Gries enabled, the remap table freezes at the first count so the
+  /// persistent state stays consistent.
+  bool incremental = false;
+
+  /// Seed for every randomized component (coloring hash, samplers).
+  std::uint64_t seed = 42;
+
+  /// Instruction-cost table used by the simulated kernels.
+  pim::KernelCostModel cost{};
+};
+
+}  // namespace pimtc::tc

@@ -1,0 +1,305 @@
+#include "tc/host.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "common/math_util.hpp"
+#include "common/prng.hpp"
+#include "common/timer.hpp"
+#include "sketch/uniform_sampler.hpp"
+#include "tc/kernel.hpp"
+#include "tc/layout.hpp"
+
+namespace pimtc::tc {
+
+PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
+                                       const pim::PimSystemConfig& pim_config)
+    : config_(config),
+      pim_config_(pim_config),
+      pool_(std::make_unique<ThreadPool>(config.host_threads)),
+      table_(config.num_colors),
+      hash_(config.num_colors, derive_seed(config.seed, 0xc01u)),
+      global_mg_(std::max<std::uint32_t>(1, config.mg_capacity)) {
+  if (config_.num_colors == 0) {
+    throw std::invalid_argument("TcConfig: num_colors must be >= 1");
+  }
+  if (config_.tasklets == 0 || config_.tasklets > pim_config_.max_tasklets) {
+    throw std::invalid_argument("TcConfig: bad tasklet count");
+  }
+  if (config_.uniform_p <= 0.0 || config_.uniform_p > 1.0) {
+    throw std::invalid_argument("TcConfig: uniform_p must be in (0, 1]");
+  }
+  const std::uint32_t dpus = table_.num_triplets();
+  if (dpus > pim_config_.max_dpus) {
+    throw std::invalid_argument(
+        "TcConfig: " + std::to_string(config_.num_colors) + " colors need " +
+        std::to_string(dpus) + " PIM cores but the system has " +
+        std::to_string(pim_config_.max_dpus));
+  }
+
+  const std::uint64_t max_cap = MramLayout::max_capacity(pim_config_.mram_bytes);
+  capacity_ = config_.sample_capacity_edges == 0
+                  ? max_cap
+                  : std::min(config_.sample_capacity_edges, max_cap);
+  if (capacity_ == 0) {
+    throw std::invalid_argument("TcConfig: MRAM too small for any sample");
+  }
+
+  system_ = std::make_unique<pim::PimSystem>(pim_config_, dpus, pool_.get());
+  reservoirs_.reserve(dpus);
+  for (std::uint32_t d = 0; d < dpus; ++d) {
+    reservoirs_.emplace_back(capacity_, derive_seed(config_.seed, 0xd00 + d));
+    // Initialize the control block so later read-modify-write cycles (which
+    // preserve kernel-owned fields like sorted_size) start from zeros.
+    DpuMeta meta;
+    meta.sample_capacity = capacity_;
+    system_->dpu(d).mram().write_t(MramLayout::kMetaOffset, meta);
+  }
+}
+
+TcResult PimTriangleCounter::count(const graph::EdgeList& graph) {
+  add_edges(graph.edges());
+  return recount();
+}
+
+void PimTriangleCounter::add_edges(std::span<const Edge> batch) {
+  WallTimer host_timer;
+  const std::uint32_t num_dpus = system_->num_dpus();
+  const std::size_t num_threads = pool_->size();
+  const std::uint64_t batch_id = batch_counter_++;
+
+  // Per-thread, per-DPU edge batches — "each host CPU thread manages an
+  // array of edges per PIM core" (Section 3.1).
+  std::vector<std::vector<std::vector<Edge>>> local(num_threads);
+  for (auto& per_dpu : local) per_dpu.resize(num_dpus);
+  std::vector<sketch::MisraGries> local_mg;
+  std::vector<std::uint64_t> local_kept(num_threads, 0);
+  local_mg.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    local_mg.emplace_back(std::max<std::uint32_t>(1, config_.mg_capacity));
+  }
+
+  const color::EdgePartitioner partitioner(hash_, table_);
+  pool_->parallel_chunks(
+      batch.size(), [&](std::size_t t, std::size_t lo, std::size_t hi) {
+        sketch::UniformSampler sampler(
+            config_.uniform_p,
+            derive_seed(config_.seed, (batch_id << 8) ^ (0xa000 + t)));
+        auto& batches = local[t];
+        auto& mg = local_mg[t];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const Edge e = batch[i];
+          if (e.is_loop()) continue;
+          if (!sampler.keep(e)) continue;
+          if (config_.misra_gries_enabled) mg.update_edge(e);
+          for (const std::uint32_t d : partitioner.targets(e)) {
+            batches[d].push_back(e);
+          }
+        }
+        local_kept[t] = sampler.kept();
+      });
+
+  edges_streamed_ += batch.size();
+  for (const std::uint64_t k : local_kept) edges_kept_ += k;
+  if (config_.misra_gries_enabled) {
+    for (const auto& mg : local_mg) global_mg_.merge(mg);
+  }
+
+  insert_into_samples(local);
+
+  system_->charge_host(host_timer.elapsed_s(), &pim::PimPhaseTimes::host_s);
+}
+
+void PimTriangleCounter::insert_into_samples(
+    const std::vector<std::vector<std::vector<Edge>>>& thread_batches) {
+  const std::uint32_t num_dpus = system_->num_dpus();
+  const std::uint32_t recv_tasklets = config_.tasklets;
+
+  std::vector<double> cycles_before(num_dpus);
+  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+    cycles_before[d] = system_->dpu(d).cycles();
+  }
+
+  std::vector<std::uint64_t> pushed_per_dpu(num_dpus, 0);
+
+  pool_->parallel_for(num_dpus, [&](std::size_t d) {
+    pim::Dpu& dpu = system_->dpu(d);
+    sketch::ReservoirPolicy& reservoir = reservoirs_[d];
+    const std::uint64_t sample_base = MramLayout::sample_offset();
+
+    std::uint64_t received = 0;
+    std::uint64_t appended_bytes = 0;
+    std::uint64_t replaced = 0;
+
+    for (const auto& per_dpu : thread_batches) {
+      for (const Edge& e : per_dpu[d]) {
+        ++received;
+        const auto decision = reservoir.offer();
+        switch (decision.action) {
+          case sketch::ReservoirDecision::Action::kAppend:
+            dpu.mram().write_t(sample_base + decision.slot * sizeof(Edge), e);
+            appended_bytes += sizeof(Edge);
+            break;
+          case sketch::ReservoirDecision::Action::kReplace:
+            dpu.mram().write_t(sample_base + decision.slot * sizeof(Edge), e);
+            ++replaced;
+            break;
+          case sketch::ReservoirDecision::Action::kDiscard:
+            break;
+        }
+      }
+    }
+
+    // Receive-path cost: stream the staged batch in, one reservoir decision
+    // per edge (tasklet-parallel), contiguous appends as bulk DMA, random
+    // replacements as 8-byte writes.
+    dpu.charge_dma_bulk(received * sizeof(Edge), 2048);  // staging read
+    dpu.charge_parallel_instr(received * config_.cost.reservoir_offer,
+                              recv_tasklets);
+    dpu.charge_dma_bulk(appended_bytes, 2048);
+    for (std::uint64_t r = 0; r < replaced; ++r) dpu.serial_dma(sizeof(Edge));
+
+    pushed_per_dpu[d] = received * sizeof(Edge);
+  });
+
+  std::uint64_t total_bytes = 0;
+  std::uint64_t replicated = 0;
+  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+    total_bytes += pushed_per_dpu[d];
+    replicated += pushed_per_dpu[d] / sizeof(Edge);
+  }
+  edges_replicated_ += replicated;
+
+  // Host -> MRAM transfer of the batches (rank-parallel push).
+  if (total_bytes > 0) {
+    system_->charge_push(total_bytes, num_dpus,
+                         &pim::PimPhaseTimes::sample_creation_s);
+  }
+
+  // DPU-side receive time: the slowest core gates the phase.
+  double max_delta = 0.0;
+  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+    max_delta =
+        std::max(max_delta, system_->dpu(d).cycles() - cycles_before[d]);
+  }
+  system_->charge_host(pim_config_.cycles_to_seconds(max_delta),
+                       &pim::PimPhaseTimes::sample_creation_s);
+}
+
+TcResult PimTriangleCounter::recount() {
+  const std::uint32_t num_dpus = system_->num_dpus();
+
+  // Can this recount take the incremental path?  Requires a prior full
+  // count with persistence and strictly append-only samples since then.
+  bool overflowed = false;
+  for (const auto& r : reservoirs_) overflowed |= r.seen() > capacity_;
+  const bool incremental = config_.incremental && sorted_valid_ && !overflowed;
+
+  // High-degree remap table (Misra-Gries top-t), broadcast to every core.
+  // Frozen once incremental state exists: the persistent sorted arcs were
+  // built under the old mapping.
+  if (config_.misra_gries_enabled && config_.mg_top > 0 && !sorted_valid_) {
+    frozen_remap_ = global_mg_.top(
+        std::min<std::size_t>(config_.mg_top, MramLayout::kMaxRemap));
+  }
+  const std::vector<NodeId>& remap = frozen_remap_;
+
+  // Write control blocks (read-modify-write: the kernel owns sorted_size
+  // and the sorted-valid flag).
+  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+    pim::Dpu& dpu = system_->dpu(d);
+    DpuMeta meta = dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+    meta.sample_size = reservoirs_[d].stored();
+    meta.edges_seen = reservoirs_[d].seen();
+    meta.sample_capacity = capacity_;
+    meta.num_remap = static_cast<std::uint32_t>(remap.size());
+    if (config_.incremental && !overflowed) {
+      meta.flags |= DpuMeta::kFlagPersistSorted;
+    } else {
+      meta.flags &= ~DpuMeta::kFlagPersistSorted;
+      meta.flags &= ~DpuMeta::kFlagSortedValid;
+      meta.sorted_size = 0;
+    }
+    dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+    if (!remap.empty()) {
+      dpu.mram().write(MramLayout::kRemapOffset, remap.data(),
+                       remap.size() * sizeof(NodeId));
+    }
+  }
+  system_->charge_push(
+      num_dpus * (sizeof(DpuMeta) + remap.size() * sizeof(NodeId)), num_dpus,
+      &pim::PimPhaseTimes::count_s);
+
+  // Launch the counting kernel on every core.
+  KernelParams params;
+  params.tasklets = config_.tasklets;
+  params.buffer_edges = std::max<std::uint32_t>(8, config_.wram_buffer_edges);
+  params.cost = config_.cost;
+  if (incremental) {
+    system_->launch(
+        [&params](pim::Dpu& dpu) { run_incremental_kernel(dpu, params); },
+        &pim::PimPhaseTimes::count_s);
+  } else {
+    system_->launch(
+        [&params](pim::Dpu& dpu) { run_count_kernel(dpu, params); },
+        &pim::PimPhaseTimes::count_s);
+    sorted_valid_ = config_.incremental && !overflowed;
+  }
+
+  // Gather per-core results.
+  std::vector<DpuMeta> metas(num_dpus);
+  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+    metas[d] = system_->dpu(d).mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+  }
+  system_->charge_pull(num_dpus * sizeof(DpuMeta), num_dpus,
+                       &pim::PimPhaseTimes::count_s);
+
+  // ---- statistical corrections (DESIGN.md, "Correction math") -------------
+  TcResult result;
+  result.num_dpus = num_dpus;
+  result.edges_streamed = edges_streamed_;
+  result.edges_kept = edges_kept_;
+  result.edges_replicated = edges_replicated_;
+  result.used_incremental = incremental;
+
+  double total_scaled = 0.0;
+  double mono_scaled = 0.0;
+  std::uint64_t min_seen = ~0ull;
+  std::uint64_t max_seen = 0;
+  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+    const std::uint64_t seen = reservoirs_[d].seen();
+    min_seen = std::min(min_seen, seen);
+    max_seen = std::max(max_seen, seen);
+    if (seen > capacity_) ++result.reservoir_overflows;
+
+    result.raw_total += metas[d].triangle_count;
+    const double q = reservoir_correction(capacity_, seen);
+    const double scaled =
+        q > 0.0 ? static_cast<double>(metas[d].triangle_count) / q : 0.0;
+    total_scaled += scaled;
+    if (table_.triplet(d).kind() == 1) mono_scaled += scaled;
+  }
+  result.min_dpu_edges = (num_dpus == 0 || min_seen == ~0ull) ? 0 : min_seen;
+  result.max_dpu_edges = max_seen;
+
+  const double colors = static_cast<double>(config_.num_colors);
+  const double corrected = total_scaled - (colors - 1.0) * mono_scaled;
+  result.estimate = corrected * uniform_sampling_correction(config_.uniform_p);
+  result.exact = config_.uniform_p >= 1.0 && result.reservoir_overflows == 0;
+  if (result.exact) {
+    // Exact mode produces an integer by construction; kill float fuzz.
+    result.estimate = static_cast<double>(result.rounded());
+  }
+  result.times = system_->times();
+  return result;
+}
+
+std::vector<std::uint64_t> PimTriangleCounter::per_dpu_edges_seen() const {
+  std::vector<std::uint64_t> seen;
+  seen.reserve(reservoirs_.size());
+  for (const auto& r : reservoirs_) seen.push_back(r.seen());
+  return seen;
+}
+
+}  // namespace pimtc::tc

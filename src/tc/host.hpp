@@ -1,0 +1,101 @@
+// Host-side orchestration of the PIM triangle counter — the public entry
+// point of the library.
+//
+// Pipeline per batch of COO edges (paper Sections 3.1-3.3):
+//   1. host threads stream their chunk of the batch: uniform sampling
+//      (discard with prob. 1-p), Misra-Gries degree summaries, and
+//      per-PIM-core batch building via the coloring partitioner,
+//   2. batches are transferred to the PIM cores (rank-parallel push),
+//   3. each core inserts the received edges into its bounded MRAM sample via
+//      reservoir sampling.
+//
+// `recount()` then runs the counting kernel on every core, gathers the
+// per-core counts and applies the statistical corrections (reservoir factor,
+// monochromatic-triangle overcount, uniform-sampling factor).
+//
+// The class is stateful to support the dynamic-graph use case (Figure 7):
+// add_edges() may be called repeatedly, and recount() reuses the resident
+// samples — only new edges are transferred.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/thread_pool.hpp"
+#include "coloring/partitioner.hpp"
+#include "coloring/triplets.hpp"
+#include "graph/coo.hpp"
+#include "pim/system.hpp"
+#include "sketch/misra_gries.hpp"
+#include "sketch/reservoir.hpp"
+#include "tc/config.hpp"
+#include "tc/result.hpp"
+
+namespace pimtc::tc {
+
+class PimTriangleCounter {
+ public:
+  explicit PimTriangleCounter(const TcConfig& config,
+                              const pim::PimSystemConfig& pim_config = {});
+
+  /// One-shot static counting: stream the whole graph, then count.
+  TcResult count(const graph::EdgeList& graph);
+
+  /// Streams one batch of edges into the PIM cores (dynamic updates).
+  /// Self loops are dropped; edges are expected deduplicated (see
+  /// graph::preprocess).
+  void add_edges(std::span<const Edge> batch);
+
+  /// Runs the counting kernel over the resident samples and returns the
+  /// corrected estimate.  Idempotent: recounting without new edges returns
+  /// the same result.
+  TcResult recount();
+
+  // ---- introspection -------------------------------------------------------
+  [[nodiscard]] pim::PimSystem& system() noexcept { return *system_; }
+  [[nodiscard]] const pim::PimSystem& system() const noexcept {
+    return *system_;
+  }
+  [[nodiscard]] const color::TripletTable& triplets() const noexcept {
+    return table_;
+  }
+  [[nodiscard]] const TcConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::uint64_t sample_capacity() const noexcept {
+    return capacity_;
+  }
+  [[nodiscard]] const sketch::MisraGries& heavy_hitters() const noexcept {
+    return global_mg_;
+  }
+  /// Edges ever offered to each PIM core (the t_d of the estimator).
+  [[nodiscard]] std::vector<std::uint64_t> per_dpu_edges_seen() const;
+
+ private:
+  void insert_into_samples(
+      const std::vector<std::vector<std::vector<Edge>>>& thread_batches);
+
+  TcConfig config_;
+  pim::PimSystemConfig pim_config_;
+  std::unique_ptr<ThreadPool> pool_;
+  color::TripletTable table_;
+  ColorHash hash_;
+  std::unique_ptr<pim::PimSystem> system_;
+  std::vector<sketch::ReservoirPolicy> reservoirs_;
+  sketch::MisraGries global_mg_;
+  std::uint64_t capacity_ = 0;
+
+  std::uint64_t edges_streamed_ = 0;
+  std::uint64_t edges_kept_ = 0;
+  std::uint64_t edges_replicated_ = 0;
+  std::uint64_t batch_counter_ = 0;
+
+  /// Dynamic mode: true once every core holds a valid persistent sorted arc
+  /// array (set by the first full count with persistence).
+  bool sorted_valid_ = false;
+  /// Remap table in effect; frozen at the first count in incremental mode.
+  std::vector<NodeId> frozen_remap_;
+};
+
+}  // namespace pimtc::tc

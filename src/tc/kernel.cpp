@@ -1,0 +1,1083 @@
+#include "tc/kernel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/math_util.hpp"
+
+namespace pimtc::tc {
+namespace {
+
+using pim::Dpu;
+using pim::Tasklet;
+
+/// ceil(log2(n)) for n >= 1.
+std::uint32_t ceil_log2(std::uint64_t n) {
+  return n <= 1 ? 0 : static_cast<std::uint32_t>(64 - std::countl_zero(n - 1));
+}
+
+// ---------------------------------------------------------------------------
+// WRAM-buffered MRAM streams
+// ---------------------------------------------------------------------------
+
+/// Buffered sequential MRAM reader for trivially copyable records: models a
+/// tasklet streaming a region of the bank through a WRAM buffer.  DMA is
+/// charged per refill.
+template <typename T>
+class StreamReader {
+ public:
+  StreamReader(Tasklet& t, std::span<T> buf, std::uint64_t base,
+               std::uint64_t begin_idx, std::uint64_t end_idx)
+      : t_(&t),
+        buf_(buf),
+        base_(base),
+        next_fetch_(begin_idx),
+        buf_base_(begin_idx),
+        end_(end_idx) {}
+
+  bool next(T& out) {
+    if (cursor_ >= filled_) {
+      if (next_fetch_ >= end_) return false;
+      refill();
+    }
+    out = buf_[cursor_++];
+    return true;
+  }
+
+  /// Absolute index (within the MRAM array) of the record most recently
+  /// returned by next().
+  [[nodiscard]] std::uint64_t last_index() const noexcept {
+    return buf_base_ + cursor_ - 1;
+  }
+
+ private:
+  void refill() {
+    const std::uint64_t count =
+        std::min<std::uint64_t>(buf_.size(), end_ - next_fetch_);
+    t_->mram_read(base_ + next_fetch_ * sizeof(T), buf_.data(),
+                  count * sizeof(T));
+    buf_base_ = next_fetch_;
+    next_fetch_ += count;
+    filled_ = static_cast<std::size_t>(count);
+    cursor_ = 0;
+  }
+
+  Tasklet* t_;
+  std::span<T> buf_;
+  std::uint64_t base_;
+  std::uint64_t next_fetch_;
+  std::uint64_t buf_base_;
+  std::uint64_t end_;
+  std::size_t cursor_ = 0;
+  std::size_t filled_ = 0;
+};
+
+using EdgeReader = StreamReader<Edge>;
+
+/// Buffered sequential MRAM writer.
+template <typename T>
+class StreamWriter {
+ public:
+  StreamWriter(Tasklet& t, std::span<T> buf, std::uint64_t base,
+               std::uint64_t begin_idx)
+      : t_(&t), buf_(buf), base_(base), pos_(begin_idx) {}
+
+  void put(const T& value) {
+    buf_[cursor_++] = value;
+    if (cursor_ == buf_.size()) flush();
+  }
+
+  void flush() {
+    if (cursor_ == 0) return;
+    t_->mram_write(base_ + pos_ * sizeof(T), buf_.data(), cursor_ * sizeof(T));
+    pos_ += cursor_;
+    cursor_ = 0;
+  }
+
+ private:
+  Tasklet* t_;
+  std::span<T> buf_;
+  std::uint64_t base_;
+  std::uint64_t pos_;
+  std::size_t cursor_ = 0;
+};
+
+/// Contiguous block [begin, end) of `n` items owned by worker `id` of `num`.
+struct Block {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+
+Block block_of(std::uint64_t n, std::uint32_t id, std::uint32_t num) {
+  const std::uint64_t base = n / num;
+  const std::uint64_t rem = n % num;
+  const std::uint64_t begin = id * base + std::min<std::uint64_t>(id, rem);
+  return {begin, begin + base + (id < rem ? 1 : 0)};
+}
+
+// ---------------------------------------------------------------------------
+// High-degree remap table (WRAM open-addressing hash, Section 3.5)
+// ---------------------------------------------------------------------------
+
+/// One slot of the WRAM-resident remap hash table; kInvalidNode = empty.
+struct RemapEntry {
+  NodeId from;
+  NodeId to;
+};
+
+class RemapTable {
+ public:
+  /// Builds the table (tasklet-0 boot work).  The table models a
+  /// *statically allocated* WRAM structure that lives for the whole kernel
+  /// — unlike the per-phase stream buffers — so it owns its storage here;
+  /// its WRAM footprint is budgeted in clamp_buffers().  `num_remap` may be
+  /// 0, yielding a no-op table.
+  RemapTable(Dpu& dpu, const KernelParams& p, std::uint32_t num_remap) {
+    if (num_remap == 0) return;
+    slots_ = 16;
+    while (slots_ < 4ull * num_remap) slots_ *= 2;
+    storage_.assign(slots_, RemapEntry{kInvalidNode, kInvalidNode});
+    table_ = storage_;
+
+    dpu.parallel(1, [&](Tasklet& t) {
+      std::vector<NodeId> by_rank(num_remap);
+      t.mram_read(MramLayout::kRemapOffset, by_rank.data(),
+                  by_rank.size() * sizeof(NodeId));
+      for (std::uint32_t r = 0; r < num_remap; ++r) {
+        std::uint64_t slot = mix64(by_rank[r]) & (slots_ - 1);
+        while (table_[slot].from != kInvalidNode) {
+          slot = (slot + 1) & (slots_ - 1);
+        }
+        table_[slot] = RemapEntry{by_rank[r], remapped_id(r)};
+      }
+      t.instr((num_remap + slots_) * p.cost.remap_lookup);
+    });
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return slots_ == 0; }
+
+  /// Maps `node`, accumulating probe count into `probes` (the caller
+  /// charges remap_lookup instructions per probe).
+  [[nodiscard]] NodeId lookup(NodeId node, std::uint64_t& probes) const {
+    if (slots_ == 0) return node;
+    std::uint64_t slot = mix64(node) & (slots_ - 1);
+    for (;;) {
+      ++probes;
+      const RemapEntry e = table_[slot];
+      if (e.from == node) return e.to;
+      if (e.from == kInvalidNode) return node;
+      slot = (slot + 1) & (slots_ - 1);
+    }
+  }
+
+ private:
+  std::vector<RemapEntry> storage_;
+  std::span<RemapEntry> table_{};
+  std::uint64_t slots_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Reusable phases
+// ---------------------------------------------------------------------------
+
+/// Copies edges [src_begin, src_end) of the raw sample into `dst` (0-based),
+/// applying the remap.  Canonical mode emits one u<v record per edge; arc
+/// mode emits both orientations (2 records per edge, for the S* pipeline).
+void copy_remap(Dpu& dpu, const KernelParams& p, const RemapTable& remap,
+                std::uint64_t src, std::uint64_t src_begin,
+                std::uint64_t src_end, std::uint64_t dst, bool arcs) {
+  const std::uint64_t n = src_end - src_begin;
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    const Block blk = block_of(n, t.id(), p.tasklets);
+    if (blk.begin >= blk.end) return;
+    auto rbuf = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto wbuf = dpu.wram().alloc<Edge>(p.buffer_edges);
+    EdgeReader reader(t, rbuf, src, src_begin + blk.begin,
+                      src_begin + blk.end);
+    StreamWriter<Edge> writer(t, wbuf, dst,
+                              arcs ? 2 * blk.begin : blk.begin);
+
+    std::uint64_t instr = 0;
+    std::uint64_t probes = 0;
+    Edge e;
+    while (reader.next(e)) {
+      if (!remap.empty()) {
+        e.u = remap.lookup(e.u, probes);
+        e.v = remap.lookup(e.v, probes);
+      }
+      const Edge c = e.canonical();
+      writer.put(c);
+      if (arcs) writer.put(c.reversed());
+      instr += p.cost.edge_copy + p.cost.loop_overhead;
+    }
+    writer.flush();
+    t.instr(instr + probes * p.cost.remap_lookup);
+  });
+}
+
+/// External merge sort of n edges at `off_a`, ping-pong with `off_b`.
+/// Returns the offset holding the sorted result.  Resets WRAM.
+///
+/// Chunk size adapts downward for small inputs so every tasklet has work
+/// (an idle pipeline issues one instruction per 11 cycles per tasklet), and
+/// merge passes with fewer runs than tasklets are co-partitioned with
+/// merge-path splitting so the last passes stay parallel.
+std::uint64_t external_sort(Dpu& dpu, const KernelParams& p,
+                            std::uint64_t off_a, std::uint64_t off_b,
+                            std::uint64_t n) {
+  if (n <= 1) return off_a;
+
+  // Stage 1: sort WRAM-resident chunks in place.  Every tasklet holds a
+  // chunk buffer simultaneously, so chunk size is bounded by WRAM/tasklets
+  // (half the arena, leaving room for stack/locals like a real kernel).
+  dpu.wram().reset();
+  const std::uint64_t max_chunk = std::max<std::uint64_t>(
+      16, dpu.wram().capacity() / (2ull * p.tasklets * sizeof(Edge)));
+  const std::uint64_t chunk =
+      std::max<std::uint64_t>(8, std::min(max_chunk,
+                                          ceil_div(n, p.tasklets)));
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    auto buf = dpu.wram().alloc<Edge>(chunk);
+    for (std::uint64_t begin = t.id() * chunk; begin < n;
+         begin += static_cast<std::uint64_t>(p.tasklets) * chunk) {
+      const std::uint64_t len = std::min(chunk, n - begin);
+      t.mram_read(off_a + begin * sizeof(Edge), buf.data(), len * sizeof(Edge));
+      std::sort(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(len));
+      t.instr(len * (ceil_log2(len) + 1) * p.cost.sort_step);
+      t.mram_write(off_a + begin * sizeof(Edge), buf.data(),
+                   len * sizeof(Edge));
+    }
+  });
+
+  // Stage 2: ping-pong merge passes until a single run remains.
+  std::uint64_t src = off_a;
+  std::uint64_t dst = off_b;
+  for (std::uint64_t width = chunk; width < n; width *= 2) {
+    dpu.wram().reset();
+    const std::uint64_t pairs = ceil_div(n, width * 2);
+    const std::uint32_t ways = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, p.tasklets / pairs));
+    dpu.parallel(p.tasklets, [&](Tasklet& t) {
+      const std::uint64_t pair = t.id() / ways;
+      const std::uint32_t way = t.id() % ways;
+
+      auto buf_l = dpu.wram().alloc<Edge>(p.buffer_edges);
+      auto buf_r = dpu.wram().alloc<Edge>(p.buffer_edges);
+      auto buf_o = dpu.wram().alloc<Edge>(p.buffer_edges);
+
+      // lower_bound of `key` within src[b, e): first element >= key.
+      const auto lb = [&](std::uint64_t b, std::uint64_t e_idx,
+                          const Edge& key) {
+        std::uint64_t probes = 0;
+        while (b < e_idx) {
+          const std::uint64_t mid = b + (e_idx - b) / 2;
+          const Edge m = t.mram_read_t<Edge>(src + mid * sizeof(Edge));
+          if (m < key) {
+            b = mid + 1;
+          } else {
+            e_idx = mid;
+          }
+          ++probes;
+        }
+        t.instr(probes * p.cost.binary_search_step);
+        return b;
+      };
+
+      const auto merge_range = [&](std::uint64_t l0, std::uint64_t l1,
+                                   std::uint64_t r0, std::uint64_t r1,
+                                   std::uint64_t out_pos) {
+        EdgeReader left(t, buf_l, src, l0, l1);
+        EdgeReader right(t, buf_r, src, r0, r1);
+        StreamWriter<Edge> out(t, buf_o, dst, out_pos);
+        Edge l;
+        Edge r;
+        bool has_l = left.next(l);
+        bool has_r = right.next(r);
+        std::uint64_t instr = 0;
+        while (has_l || has_r) {
+          if (has_l && (!has_r || l <= r)) {
+            out.put(l);
+            has_l = left.next(l);
+          } else {
+            out.put(r);
+            has_r = right.next(r);
+          }
+          instr += p.cost.merge_pick;
+        }
+        out.flush();
+        t.instr(instr);
+      };
+
+      if (ways == 1) {
+        // More runs than tasklets: round-robin whole pairs.
+        for (std::uint64_t pr = t.id(); pr < pairs; pr += p.tasklets) {
+          const std::uint64_t lo = pr * width * 2;
+          const std::uint64_t mid = std::min(lo + width, n);
+          const std::uint64_t hi = std::min(lo + width * 2, n);
+          merge_range(lo, mid, mid, hi, lo);
+        }
+        return;
+      }
+
+      // Few runs: `ways` tasklets co-partition one pair via merge-path
+      // splits (distinct keys: edges are unique).
+      if (pair >= pairs) return;
+      const std::uint64_t lo = pair * width * 2;
+      const std::uint64_t mid = std::min(lo + width, n);
+      const std::uint64_t hi = std::min(lo + width * 2, n);
+      const std::uint64_t nl = mid - lo;
+
+      const auto left_split = [&](std::uint32_t w) {
+        return lo + w * nl / ways;
+      };
+      // Right-run split consistent across ways: right elements smaller than
+      // the left block's first key go to earlier ways.  Edges are unique,
+      // so ties cannot occur.
+      const auto right_split = [&](std::uint64_t lx) {
+        if (lx <= lo) return mid;   // first boundary
+        if (lx >= mid) return hi;   // left run exhausted: tail goes here
+        return lb(mid, hi, t.mram_read_t<Edge>(src + lx * sizeof(Edge)));
+      };
+      const std::uint64_t l0 = left_split(way);
+      const std::uint64_t l1 = left_split(way + 1);
+      const std::uint64_t r0 = way == 0 ? mid : right_split(l0);
+      const std::uint64_t r1 = way + 1 == ways ? hi : right_split(l1);
+      merge_range(l0, l1, r0, r1, lo + (l0 - lo) + (r0 - mid));
+    });
+    std::swap(src, dst);
+  }
+  return src;
+}
+
+/// Parallel bulk copy of n edges from `src` to `dst`.
+void copy_edges(Dpu& dpu, const KernelParams& p, std::uint64_t src,
+                std::uint64_t dst, std::uint64_t n) {
+  dpu.wram().reset();
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    const Block blk = block_of(n, t.id(), p.tasklets);
+    if (blk.begin >= blk.end) return;
+    auto buf = dpu.wram().alloc<Edge>(p.buffer_edges * 2);
+    for (std::uint64_t pos = blk.begin; pos < blk.end; pos += buf.size()) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(buf.size(), blk.end - pos);
+      t.mram_read(src + pos * sizeof(Edge), buf.data(), len * sizeof(Edge));
+      t.mram_write(dst + pos * sizeof(Edge), buf.data(), len * sizeof(Edge));
+      t.instr(p.cost.loop_overhead);
+    }
+  });
+}
+
+/// Builds the region index over `sorted` (n edges) at `reg`.  Two parallel
+/// passes: count region starts per block, then write RegionEntry records at
+/// exclusive-prefix offsets.  Returns the number of regions.
+std::uint64_t build_regions(Dpu& dpu, const KernelParams& p,
+                            std::uint64_t sorted, std::uint64_t n,
+                            std::uint64_t reg) {
+  if (n == 0) return 0;
+  std::vector<std::uint64_t> counts(p.tasklets, 0);
+
+  dpu.wram().reset();
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    const Block blk = block_of(n, t.id(), p.tasklets);
+    if (blk.begin >= blk.end) return;
+    auto buf = dpu.wram().alloc<Edge>(p.buffer_edges);
+    NodeId prev = kInvalidNode;
+    if (blk.begin > 0) {
+      prev = t.mram_read_t<Edge>(sorted + (blk.begin - 1) * sizeof(Edge)).u;
+    }
+    EdgeReader reader(t, buf, sorted, blk.begin, blk.end);
+    Edge e;
+    std::uint64_t local = 0;
+    std::uint64_t instr = 0;
+    while (reader.next(e)) {
+      if (e.u != prev) {
+        ++local;
+        prev = e.u;
+      }
+      instr += p.cost.region_scan_step;
+    }
+    counts[t.id()] = local;
+    t.instr(instr);
+  });
+
+  // Exclusive prefix over per-tasklet counts (tasklet 0 on real hardware).
+  std::vector<std::uint64_t> prefix(p.tasklets + 1, 0);
+  for (std::uint32_t i = 0; i < p.tasklets; ++i) {
+    prefix[i + 1] = prefix[i] + counts[i];
+  }
+  dpu.serial_instr(p.tasklets * 2ull);
+
+  dpu.wram().reset();
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    const Block blk = block_of(n, t.id(), p.tasklets);
+    if (blk.begin >= blk.end) return;
+    auto buf = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto obuf = dpu.wram().alloc<RegionEntry>(p.buffer_edges);
+    NodeId prev = kInvalidNode;
+    if (blk.begin > 0) {
+      prev = t.mram_read_t<Edge>(sorted + (blk.begin - 1) * sizeof(Edge)).u;
+    }
+    EdgeReader reader(t, buf, sorted, blk.begin, blk.end);
+    StreamWriter<RegionEntry> writer(t, obuf, reg, prefix[t.id()]);
+    Edge e;
+    std::uint64_t instr = 0;
+    while (reader.next(e)) {
+      if (e.u != prev) {
+        writer.put(
+            RegionEntry{e.u, static_cast<std::uint32_t>(reader.last_index())});
+        prev = e.u;
+      }
+      instr += p.cost.region_scan_step;
+    }
+    writer.flush();
+    t.instr(instr);
+  });
+
+  return prefix[p.tasklets];
+}
+
+/// Binary search over the MRAM region table: index of the first region with
+/// node >= key.  Each probe is an 8-byte DMA read.
+std::uint64_t lower_bound_region(Tasklet& t, const KernelParams& p,
+                                 std::uint64_t reg, std::uint64_t num_regions,
+                                 NodeId key) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = num_regions;
+  std::uint64_t instr = 0;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const auto entry =
+        t.mram_read_t<RegionEntry>(reg + mid * sizeof(RegionEntry));
+    if (entry.node < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+    instr += p.cost.binary_search_step;
+  }
+  t.instr(instr);
+  return lo;
+}
+
+/// Returns the start of `key`'s region in the sorted buffer, or ~0 if the
+/// node has no region.
+std::uint64_t find_region_begin(Tasklet& t, const KernelParams& p,
+                                std::uint64_t reg, std::uint64_t num_regions,
+                                NodeId key) {
+  const std::uint64_t r = lower_bound_region(t, p, reg, num_regions, key);
+  if (r >= num_regions) return ~0ull;
+  const auto entry = t.mram_read_t<RegionEntry>(reg + r * sizeof(RegionEntry));
+  t.instr(p.cost.binary_search_step);
+  return entry.node == key ? entry.begin : ~0ull;
+}
+
+/// Shared WRAM cache of every k-th region-table entry.  A lookup binary
+/// searches the cache with WRAM-speed instructions, leaving only ~log2(k)
+/// MRAM probes inside the narrowed window — the real kernels keep exactly
+/// such a sampled index resident to avoid DMA-bound searches.
+class RegionCache {
+ public:
+  static constexpr std::uint64_t kSlots = 2048;  // 16 KB of WRAM
+
+  /// Streams the region table once (tasklet-0 boot work) and keeps every
+  /// stride-th entry.  Owns its storage like the remap table: it models a
+  /// statically allocated WRAM structure, budgeted in clamp_buffers().
+  RegionCache(Dpu& dpu, const KernelParams& p, std::uint64_t reg,
+              std::uint64_t num_regions)
+      : num_regions_(num_regions) {
+    if (num_regions == 0) return;
+    stride_ = ceil_div(num_regions, kSlots);
+    cache_.resize(ceil_div(num_regions, stride_));
+    dpu.wram().reset();
+    dpu.parallel(p.tasklets, [&](Tasklet& t) {
+      // Each tasklet streams a contiguous block of the table through a WRAM
+      // buffer and keeps the stride-aligned entries — sequential DMA, not
+      // per-entry bursts.
+      const Block blk = block_of(num_regions, t.id(), p.tasklets);
+      if (blk.begin >= blk.end) return;
+      auto buf = dpu.wram().alloc<RegionEntry>(p.buffer_edges * 2);
+      StreamReader<RegionEntry> reader(t, buf, reg, blk.begin, blk.end);
+      RegionEntry entry;
+      std::uint64_t instr = 0;
+      while (reader.next(entry)) {
+        const std::uint64_t i = reader.last_index();
+        if (i % stride_ == 0) cache_[i / stride_] = entry;
+        instr += 2;
+      }
+      t.instr(instr);
+    });
+  }
+
+  /// Region-index window [lo, hi) that must contain `key`, if present.
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> window(
+      NodeId key, std::uint64_t& instr) const {
+    if (cache_.empty()) return {0, num_regions_};
+    // upper_bound over the sampled nodes (WRAM-resident, cheap).
+    std::size_t lo = 0;
+    std::size_t hi = cache_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cache_[mid].node <= key) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+      instr += 3;
+    }
+    const std::uint64_t begin = lo == 0 ? 0 : (lo - 1) * stride_;
+    const std::uint64_t end =
+        std::min<std::uint64_t>(num_regions_, lo * stride_ + 1);
+    return {begin, end};
+  }
+
+ private:
+  std::vector<RegionEntry> cache_;
+  std::uint64_t stride_ = 1;
+  std::uint64_t num_regions_ = 0;
+};
+
+/// A region [begin, end) of the sorted buffer (all records sharing one
+/// first endpoint).
+struct Region {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  [[nodiscard]] bool found() const noexcept { return begin != ~0ull; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
+};
+
+/// Binary search restricted to a cache-provided window.
+std::uint64_t lower_bound_region_window(Tasklet& t, const KernelParams& p,
+                                        std::uint64_t reg, NodeId key,
+                                        std::uint64_t lo, std::uint64_t hi) {
+  std::uint64_t instr = 0;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const auto entry =
+        t.mram_read_t<RegionEntry>(reg + mid * sizeof(RegionEntry));
+    if (entry.node < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+    instr += p.cost.binary_search_step;
+  }
+  t.instr(instr);
+  return lo;
+}
+
+/// Region bounds of `key` (end = next region's begin, or n), using the WRAM
+/// region cache to keep MRAM probes at ~log2(stride).
+Region find_region(Tasklet& t, const KernelParams& p, std::uint64_t reg,
+                   std::uint64_t num_regions, NodeId key, std::uint64_t n,
+                   const RegionCache& cache) {
+  std::uint64_t instr = 0;
+  const auto [w_lo, w_hi] = cache.window(key, instr);
+  t.instr(instr);
+
+  // Narrow window (fine-grained cache): fetch the whole window plus the
+  // successor entry in one burst and resolve in WRAM.
+  if (w_hi - w_lo <= 6) {
+    RegionEntry win[8] = {};
+    const std::uint64_t fetch =
+        std::min<std::uint64_t>(w_hi - w_lo + 1, num_regions - w_lo);
+    t.mram_read(reg + w_lo * sizeof(RegionEntry), win,
+                fetch * sizeof(RegionEntry));
+    t.instr(p.cost.binary_search_step + fetch * 2);
+    for (std::uint64_t i = 0; i < fetch; ++i) {
+      if (win[i].node == key) {
+        const std::uint64_t end =
+            (i + 1 < fetch) ? win[i + 1].begin
+            : (w_lo + i + 1 < num_regions)
+                ? t.mram_read_t<RegionEntry>(reg + (w_lo + i + 1) *
+                                                       sizeof(RegionEntry))
+                      .begin
+                : n;
+        return {win[i].begin, end};
+      }
+    }
+    return {~0ull, ~0ull};
+  }
+
+  const std::uint64_t r =
+      lower_bound_region_window(t, p, reg, key, w_lo, w_hi);
+  if (r >= num_regions) return {~0ull, ~0ull};
+  // Fetch entries r and r+1 in one 16-byte burst (region end = next begin).
+  RegionEntry pair[2] = {};
+  const std::size_t fetch = r + 1 < num_regions ? 2 : 1;
+  t.mram_read(reg + r * sizeof(RegionEntry), pair,
+              fetch * sizeof(RegionEntry));
+  t.instr(p.cost.binary_search_step);
+  if (pair[0].node != key) return {~0ull, ~0ull};
+  return {pair[0].begin, fetch == 2 ? pair[1].begin : n};
+}
+
+// ---------------------------------------------------------------------------
+// Full counting phase (Section 3.4)
+// ---------------------------------------------------------------------------
+
+std::uint64_t count_full(Dpu& dpu, const KernelParams& p, std::uint64_t sorted,
+                         std::uint64_t n, std::uint64_t reg,
+                         std::uint64_t num_regions) {
+  std::vector<std::uint64_t> partial(p.tasklets, 0);
+
+  dpu.wram().reset();
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    const Block blk = block_of(n, t.id(), p.tasklets);
+    if (blk.begin >= blk.end) return;
+    auto scan_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto u_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto v_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
+
+    EdgeReader scan(t, scan_buf, sorted, blk.begin, blk.end);
+    Edge e;
+    std::uint64_t count = 0;
+    std::uint64_t instr = 0;
+    while (scan.next(e)) {
+      instr += p.cost.loop_overhead;
+      if (e.u == e.v) continue;  // defensive: self loops count nothing
+      const std::uint64_t v_begin =
+          find_region_begin(t, p, reg, num_regions, e.v);
+      if (v_begin == ~0ull) continue;
+
+      // Merge: edges after (u,v) in u's region  x  v's region.  Streams
+      // self-terminate when the first endpoint changes.
+      EdgeReader stream_u(t, u_buf, sorted, scan.last_index() + 1, n);
+      EdgeReader stream_v(t, v_buf, sorted, v_begin, n);
+      Edge eu;
+      Edge ev;
+      bool has_u = stream_u.next(eu) && eu.u == e.u;
+      bool has_v = stream_v.next(ev) && ev.u == e.v;
+      while (has_u && has_v) {
+        instr += p.cost.count_merge_step;
+        if (eu.v == ev.v) {
+          ++count;
+          has_u = stream_u.next(eu) && eu.u == e.u;
+          has_v = stream_v.next(ev) && ev.u == e.v;
+        } else if (eu.v < ev.v) {
+          has_u = stream_u.next(eu) && eu.u == e.u;
+        } else {
+          has_v = stream_v.next(ev) && ev.u == e.v;
+        }
+      }
+    }
+    partial[t.id()] = count;
+    t.instr(instr);
+  });
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : partial) total += c;
+  dpu.serial_instr(p.tasklets * 2ull);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental machinery (dynamic updates)
+// ---------------------------------------------------------------------------
+
+/// Merges S*[0..n_old) with the sorted batch at `batch` [0..n_b) into
+/// `dst_edges`, writing a 1-byte "new" flag per output record to
+/// `dst_flags`.  Tasklets merge co-partitioned subranges (merge-path
+/// splitting on equal S* blocks).
+void merge_with_flags(Dpu& dpu, const KernelParams& p, std::uint64_t sorted,
+                      std::uint64_t n_old, std::uint64_t batch,
+                      std::uint64_t n_b, std::uint64_t dst_edges,
+                      std::uint64_t dst_flags) {
+  const std::uint32_t ways = p.tasklets;
+  std::vector<std::uint64_t> old_split(ways + 1, 0);
+  std::vector<std::uint64_t> batch_split(ways + 1, 0);
+  old_split[ways] = n_old;
+  batch_split[ways] = n_b;
+
+  // Split planning: equal blocks of S*; matching batch positions found by
+  // binary search (tasklet-0 work on real hardware).
+  dpu.wram().reset();
+  dpu.parallel(1, [&](Tasklet& t) {
+    std::uint64_t instr = 0;
+    for (std::uint32_t w = 1; w < ways; ++w) {
+      const std::uint64_t pos = w * n_old / ways;
+      old_split[w] = pos;
+      if (pos == 0 || n_b == 0) {
+        batch_split[w] = 0;
+        continue;
+      }
+      const Edge pivot = t.mram_read_t<Edge>(sorted + (pos - 1) * sizeof(Edge));
+      std::uint64_t lo = 0;
+      std::uint64_t hi = n_b;
+      while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        const Edge e = t.mram_read_t<Edge>(batch + mid * sizeof(Edge));
+        if (e < pivot) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+        instr += p.cost.binary_search_step;
+      }
+      batch_split[w] = lo;
+    }
+    t.instr(instr);
+  });
+  // Monotonicity guard (ties in the batch search).
+  for (std::uint32_t w = 1; w <= ways; ++w) {
+    batch_split[w] = std::max(batch_split[w], batch_split[w - 1]);
+  }
+
+  dpu.wram().reset();
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    const std::uint32_t w = t.id();
+    const std::uint64_t o_lo = old_split[w];
+    const std::uint64_t o_hi = old_split[w + 1];
+    const std::uint64_t b_lo = batch_split[w];
+    const std::uint64_t b_hi = batch_split[w + 1];
+    if (o_lo >= o_hi && b_lo >= b_hi) return;
+
+    auto buf_o = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto buf_b = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto buf_e = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto buf_f = dpu.wram().alloc<std::uint8_t>(p.buffer_edges);
+
+    EdgeReader old_r(t, buf_o, sorted, o_lo, o_hi);
+    EdgeReader new_r(t, buf_b, batch, b_lo, b_hi);
+    StreamWriter<Edge> out_e(t, buf_e, dst_edges, o_lo + b_lo);
+    StreamWriter<std::uint8_t> out_f(t, buf_f, dst_flags, o_lo + b_lo);
+
+    Edge o;
+    Edge b;
+    bool has_o = old_r.next(o);
+    bool has_b = new_r.next(b);
+    std::uint64_t instr = 0;
+    while (has_o || has_b) {
+      if (has_o && (!has_b || o <= b)) {
+        out_e.put(o);
+        out_f.put(0);
+        has_o = old_r.next(o);
+      } else {
+        out_e.put(b);
+        out_f.put(1);
+        has_b = new_r.next(b);
+      }
+      instr += p.cost.merge_pick;
+    }
+    out_e.flush();
+    out_f.flush();
+    t.instr(instr);
+  });
+}
+
+/// Counts new triangles over the merged arc array: for each new canonical
+/// edge e = (u,v), merge the full adjacency regions of u and v; every common
+/// neighbor w closes a triangle, counted iff each of the other two edges is
+/// old or a lexicographically smaller new edge — every new triangle lands
+/// exactly once, at its largest new edge.  `n` and `n_b` are arc counts;
+/// reversed batch arcs are skipped so each new edge is processed once.
+std::uint64_t count_incremental(Dpu& dpu, const KernelParams& p,
+                                std::uint64_t sorted, std::uint64_t n,
+                                std::uint64_t flags, std::uint64_t reg,
+                                std::uint64_t num_regions, std::uint64_t batch,
+                                std::uint64_t n_b) {
+  std::vector<std::uint64_t> partial(p.tasklets, 0);
+
+  const RegionCache cache(dpu, p, reg, num_regions);
+
+  dpu.wram().reset();
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    auto scan_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto u_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
+    auto v_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
+
+    // Strided chunks (round-robin, 16 arcs each) instead of one contiguous
+    // block per tasklet: the batch is sorted, so a hub's arcs are
+    // contiguous and a static block split would hand one tasklet all the
+    // expensive hub queries (real kernels pull chunks from a shared work
+    // counter for the same reason).
+    constexpr std::uint64_t kChunk = 16;
+    const std::uint64_t num_chunks = ceil_div(n_b, kChunk);
+    std::uint64_t count = 0;
+    std::uint64_t instr = 0;
+    for (std::uint64_t chunk_i = t.id(); chunk_i < num_chunks;
+         chunk_i += p.tasklets) {
+    const std::uint64_t c_lo = chunk_i * kChunk;
+    const std::uint64_t c_hi = std::min(n_b, c_lo + kChunk);
+    EdgeReader scan(t, scan_buf, batch, c_lo, c_hi);
+    Edge e;
+    while (scan.next(e)) {
+      instr += p.cost.loop_overhead;
+      if (e.u >= e.v) continue;  // process each new edge once (canonical arc)
+      const Region ru = find_region(t, p, reg, num_regions, e.u, n, cache);
+      if (!ru.found()) continue;  // cannot happen: e itself is in S*
+      const Region rv = find_region(t, p, reg, num_regions, e.v, n, cache);
+      if (!rv.found()) continue;
+
+      // Adaptive intersection: hub-incident edges pair a tiny region with a
+      // huge one, where a linear merge would walk the hub's full adjacency.
+      // Binary-searching each element of the small region into the large
+      // one costs small * log(large) instead.
+      const Region& small = ru.size() <= rv.size() ? ru : rv;
+      const Region& large = ru.size() <= rv.size() ? rv : ru;
+      const std::uint64_t gallop_cost =
+          small.size() * (ceil_log2(large.size() + 1) + 2);
+      if (gallop_cost * 3 < small.size() + large.size()) {
+        EdgeReader stream_s(t, u_buf, sorted, small.begin, small.end);
+        Edge es;
+        while (stream_s.next(es)) {
+          const NodeId w = es.v;
+          // lower_bound on the second endpoint within the large region;
+          // each probe fetches an 8-edge block, resolving three levels per
+          // DMA burst (the fixed setup cost dominates tiny reads).
+          std::uint64_t lo = large.begin;
+          std::uint64_t hi = large.end;
+          std::uint64_t probes = 0;
+          Edge block[8];
+          while (hi - lo > 8) {
+            const std::uint64_t mid = lo + (hi - lo) / 2;
+            const std::uint64_t b =
+                std::min(std::max(mid, lo + 4), hi - 4) - 4;
+            t.mram_read(sorted + b * sizeof(Edge), block, sizeof(block));
+            if (block[0].v >= w) {
+              hi = b + 1;
+            } else if (block[7].v < w) {
+              lo = b + 8;
+            } else {
+              // Resolve within the block.
+              lo = b;
+              for (int i = 7; i >= 0; --i) {
+                if (block[i].v < w) {
+                  lo = b + i + 1;
+                  break;
+                }
+              }
+              hi = lo;
+            }
+            ++probes;
+          }
+          instr += probes * (p.cost.binary_search_step + 8);
+          if (hi != lo) {
+            // Final linear resolve over the <= 8 remaining entries.
+            const std::uint64_t fetch = hi - lo;
+            t.mram_read(sorted + lo * sizeof(Edge), block,
+                        fetch * sizeof(Edge));
+            instr += p.cost.binary_search_step + fetch;
+            std::uint64_t i = 0;
+            while (i < fetch && block[i].v < w) ++i;
+            lo += i;
+          }
+          instr += p.cost.loop_overhead;
+          if (lo >= large.end) continue;
+          const Edge m = t.mram_read_t<Edge>(sorted + lo * sizeof(Edge));
+          instr += p.cost.binary_search_step;
+          if (m.v != w) continue;
+          const auto fm = t.mram_read_t<std::uint8_t>(flags + lo);
+          const auto fs =
+              t.mram_read_t<std::uint8_t>(flags + stream_s.last_index());
+          const bool blocked_s = (fs != 0) && e < es.canonical();
+          const bool blocked_m = (fm != 0) && e < m.canonical();
+          if (!blocked_s && !blocked_m) ++count;
+          instr += 4;
+        }
+        continue;
+      }
+
+      EdgeReader stream_u(t, u_buf, sorted, ru.begin, ru.end);
+      EdgeReader stream_v(t, v_buf, sorted, rv.begin, rv.end);
+
+      Edge eu;
+      Edge ev;
+      bool has_u = stream_u.next(eu);
+      bool has_v = stream_v.next(ev);
+      while (has_u && has_v) {
+        instr += p.cost.count_merge_step;
+        if (eu.v == ev.v) {
+          // Triangle (e.u, e.v, w) with w = eu.v; e is new by construction.
+          // Count here only if neither other edge is a lexicographically
+          // larger new edge (that edge's own pass owns the triangle).
+          // Matches are rare, so new-flags are fetched lazily per match
+          // instead of streamed alongside the edges.
+          const auto fu =
+              t.mram_read_t<std::uint8_t>(flags + stream_u.last_index());
+          const auto fv =
+              t.mram_read_t<std::uint8_t>(flags + stream_v.last_index());
+          const bool blocked_u = (fu != 0) && e < eu.canonical();
+          const bool blocked_v = (fv != 0) && e < ev.canonical();
+          if (!blocked_u && !blocked_v) ++count;
+          instr += 4;
+          has_u = stream_u.next(eu);
+          has_v = stream_v.next(ev);
+        } else if (eu.v < ev.v) {
+          has_u = stream_u.next(eu);
+        } else {
+          has_v = stream_v.next(ev);
+        }
+      }
+    }
+    }
+    partial[t.id()] = count;
+    t.instr(instr);
+  });
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : partial) total += c;
+  dpu.serial_instr(p.tasklets * 2ull);
+  return total;
+}
+
+/// Zeroes the first n flag bytes (parallel chunked writes).
+void clear_flags(Dpu& dpu, const KernelParams& p, std::uint64_t flags,
+                 std::uint64_t n) {
+  dpu.wram().reset();
+  dpu.parallel(p.tasklets, [&](Tasklet& t) {
+    const Block blk = block_of(n, t.id(), p.tasklets);
+    if (blk.begin >= blk.end) return;
+    auto buf = dpu.wram().alloc<std::uint8_t>(p.buffer_edges * 8);
+    std::fill(buf.begin(), buf.end(), 0);
+    for (std::uint64_t pos = blk.begin; pos < blk.end; pos += buf.size()) {
+      const std::uint64_t len =
+          std::min<std::uint64_t>(buf.size(), blk.end - pos);
+      t.mram_write(flags + pos, buf.data(), len);
+      t.instr(p.cost.loop_overhead);
+    }
+  });
+}
+
+/// Clamps the stream-buffer size so the worst-case simultaneous allocation
+/// (five buffers per tasklet plus the remap table) fits the scratchpad — a
+/// real kernel is sized like this at build time.
+KernelParams clamp_buffers(const pim::Dpu& dpu, const KernelParams& in) {
+  KernelParams params = in;
+  const std::uint64_t wram_budget =
+      dpu.config().wram_bytes -
+      MramLayout::kMaxRemap * 2 * sizeof(NodeId) -  // remap hash table
+      RegionCache::kSlots * sizeof(RegionEntry);    // sampled region index
+  const auto max_buffer = static_cast<std::uint32_t>(
+      wram_budget / (5ull * params.tasklets * sizeof(Edge)));
+  params.buffer_edges = std::max(4u, std::min(params.buffer_edges, max_buffer));
+  return params;
+}
+
+DpuMeta read_meta(Dpu& dpu, const KernelParams& p) {
+  DpuMeta meta{};
+  dpu.parallel(1, [&](Tasklet& t) {
+    meta = t.mram_read_t<DpuMeta>(MramLayout::kMetaOffset);
+    t.instr(p.cost.loop_overhead);
+  });
+  return meta;
+}
+
+void write_meta(Dpu& dpu, const KernelParams& p, const DpuMeta& meta) {
+  dpu.parallel(1, [&](Tasklet& t) {
+    t.mram_write_t(MramLayout::kMetaOffset, meta);
+    t.instr(p.cost.loop_overhead);
+  });
+}
+
+}  // namespace
+
+void run_count_kernel(pim::Dpu& dpu, const KernelParams& params_in) {
+  const KernelParams params = clamp_buffers(dpu, params_in);
+  DpuMeta meta = read_meta(dpu, params);
+  const std::uint64_t n = meta.sample_size;
+  const std::uint64_t cap = meta.sample_capacity;
+
+  if (n == 0) {
+    meta.triangle_count = 0;
+    meta.num_regions = 0;
+    meta.sorted_size = 0;
+    write_meta(dpu, params, meta);
+    return;
+  }
+
+  dpu.wram().reset();
+  const RemapTable remap(dpu, params, meta.num_remap);
+  copy_remap(dpu, params, remap, MramLayout::sample_offset(), 0, n,
+             MramLayout::work_a_offset(cap), /*arcs=*/false);
+
+  const std::uint64_t sorted =
+      external_sort(dpu, params, MramLayout::work_a_offset(cap),
+                    MramLayout::work_b_offset(cap), n);
+
+  const std::uint64_t reg = MramLayout::region_offset(cap);
+  const std::uint64_t regions = build_regions(dpu, params, sorted, n, reg);
+  meta.num_regions = regions;
+  meta.triangle_count = count_full(dpu, params, sorted, n, reg, regions);
+
+  if (meta.flags & DpuMeta::kFlagPersistSorted) {
+    // Materialize the persistent arc array S* (both orientations of every
+    // edge, sorted) for subsequent incremental updates.  The canonical
+    // pipeline is finished, so the scratch buffers are free again.
+    dpu.wram().reset();
+    copy_remap(dpu, params, remap, MramLayout::sample_offset(), 0, n,
+               MramLayout::work_a_offset(cap), /*arcs=*/true);
+    const std::uint64_t arcs =
+        external_sort(dpu, params, MramLayout::work_a_offset(cap),
+                      MramLayout::work_b_offset(cap), 2 * n);
+    if (arcs != MramLayout::sorted_offset(cap)) {
+      copy_edges(dpu, params, arcs, MramLayout::sorted_offset(cap), 2 * n);
+    }
+    meta.sorted_size = n;
+    meta.flags |= DpuMeta::kFlagSortedValid;
+  }
+  write_meta(dpu, params, meta);
+}
+
+void run_incremental_kernel(pim::Dpu& dpu, const KernelParams& params_in) {
+  const KernelParams params = clamp_buffers(dpu, params_in);
+  DpuMeta meta = read_meta(dpu, params);
+  const std::uint64_t cap = meta.sample_capacity;
+  const std::uint64_t n_old = meta.sorted_size;
+  const std::uint64_t n = meta.sample_size;
+
+  if (!(meta.flags & DpuMeta::kFlagSortedValid) || n < n_old) {
+    throw std::logic_error(
+        "run_incremental_kernel: no valid persisted sorted sample");
+  }
+  const std::uint64_t n_b = n - n_old;
+  if (n_b == 0) {
+    write_meta(dpu, params, meta);
+    return;
+  }
+
+  const std::uint64_t sorted = MramLayout::sorted_offset(cap);
+  const std::uint64_t flags = MramLayout::flags_offset(cap);
+  const std::uint64_t work_a = MramLayout::work_a_offset(cap);
+  const std::uint64_t work_b = MramLayout::work_b_offset(cap);
+  const std::uint64_t reg = MramLayout::region_offset(cap);
+  const std::uint64_t arcs_old = 2 * n_old;
+  const std::uint64_t arcs_b = 2 * n_b;
+  const std::uint64_t arcs_total = 2 * n;
+
+  // 1. remap + copy (both orientations) + sort the new batch.
+  dpu.wram().reset();
+  const RemapTable remap(dpu, params, meta.num_remap);
+  copy_remap(dpu, params, remap, MramLayout::sample_offset(), n_old, n,
+             work_a, /*arcs=*/true);
+  const std::uint64_t batch = external_sort(dpu, params, work_a, work_b,
+                                            arcs_b);
+
+  // 2. merge S* + batch arcs into the other scratch buffer (with new-flags),
+  //    then install it as the new S*.  The sorted batch survives in `batch`
+  //    for the counting pass.
+  const std::uint64_t merge_dst = batch == work_a ? work_b : work_a;
+  merge_with_flags(dpu, params, sorted, arcs_old, batch, arcs_b, merge_dst,
+                   flags);
+  copy_edges(dpu, params, merge_dst, sorted, arcs_total);
+  meta.sorted_size = n;
+
+  // 3. rebuild the region index over the merged S*.
+  const std::uint64_t regions =
+      build_regions(dpu, params, sorted, arcs_total, reg);
+  meta.num_regions = regions;
+
+  // 4. count the delta, 5. clear the flags for the next round.
+  const std::uint64_t delta =
+      count_incremental(dpu, params, sorted, arcs_total, flags, reg, regions,
+                        batch, arcs_b);
+  clear_flags(dpu, params, flags, arcs_total);
+
+  meta.triangle_count += delta;
+  write_meta(dpu, params, meta);
+}
+
+}  // namespace pimtc::tc

@@ -1,0 +1,52 @@
+// The triangle-counting DPU kernels (paper Sections 3.4, 3.5 and the
+// dynamic-graph mode of Section 4.6).
+//
+// Both kernels run functionally on one simulated DPU while charging the
+// UPMEM cost model.  Inputs/outputs travel through the DpuMeta block
+// (layout.hpp); the raw sample is never modified.
+//
+// Full kernel (static counting, also the first pass of dynamic mode):
+//   1. remap+copy — copy the sample into scratch A, translating the top-t
+//      high-degree node ids (Misra-Gries remap) to ids above every real id,
+//   2. sort       — WRAM chunk sort + MRAM ping-pong merge passes,
+//   3. persist    — optionally copy the sorted data into S* (dynamic mode),
+//   4. index      — build the per-first-node region index,
+//   5. count      — edge-iterator merge: for every edge (u,v), binary-search
+//      the region of v and merge the remainder of u's region with v's.
+//
+// Incremental kernel (dynamic updates; requires a valid S*):
+//   1. remap+copy+sort the new batch (sample[sorted_size..sample_size)),
+//   2. merge S* with the sorted batch in one streaming pass, marking batch
+//      entries in the new-flags array,
+//   3. rebuild the region index,
+//   4. for every new edge e, merge the *full* regions of its endpoints and
+//      count a matching triangle iff each of the other two edges is either
+//      old or a new edge lexicographically smaller than e — every new
+//      triangle is counted exactly once, at its largest new edge,
+//   5. clear the flags; add the delta to the cumulative count.
+#pragma once
+
+#include "pim/config.hpp"
+#include "pim/dpu.hpp"
+#include "tc/layout.hpp"
+
+namespace pimtc::tc {
+
+struct KernelParams {
+  std::uint32_t tasklets = 16;
+  std::uint32_t buffer_edges = 64;  ///< WRAM staging granularity per stream
+  pim::KernelCostModel cost{};
+};
+
+/// Executes the full kernel.  Reads DpuMeta at offset 0 and writes back
+/// `triangle_count` (total over the whole sample) plus `num_regions`; when
+/// DpuMeta::kFlagPersistSorted is set, also persists S* and `sorted_size`.
+void run_count_kernel(pim::Dpu& dpu, const KernelParams& params);
+
+/// Executes the incremental kernel over the new edges
+/// sample[sorted_size..sample_size).  Requires kFlagSortedValid (i.e. a
+/// prior full run with persistence); adds the new-triangle delta to
+/// `triangle_count` and advances `sorted_size`.
+void run_incremental_kernel(pim::Dpu& dpu, const KernelParams& params);
+
+}  // namespace pimtc::tc

@@ -1,0 +1,123 @@
+// MRAM layout of one PIM core's triangle-counting state.
+//
+//   [ DpuMeta | remap table | sample S | sorted arcs S* | new-flags |
+//     scratch A | scratch B | region index ]
+//
+// The sample region holds the reservoir in *original* node ids and arrival
+// order.  A full kernel run copies it (applying the high-degree remap) into
+// scratch A, sorts, builds the region index and counts; with persistence
+// requested it additionally materializes S*.
+//
+// S* is the persistent *arc* array powering the incremental mode used for
+// dynamic graphs (paper Section 4.6 / Figure 7): every edge appears in both
+// orientations, so region(x) in S* is the full sorted adjacency of x and a
+// common-neighbor query for a new edge (u,v) is one merge of region(u) and
+// region(v).  A new batch is sorted and merged into S* in one streaming
+// pass; only triangles involving new edges are then counted — each exactly
+// once, attributed to its lexicographically largest new edge.  The per-arc
+// new-flags array marks which S* entries arrived in the current batch.
+//
+// All offsets derive from the fixed reservoir capacity M (edges; 2M arcs),
+// so they are stable across updates; the MRAM page model keeps untouched
+// gaps free.
+#pragma once
+
+#include <cstdint>
+
+#include "common/math_util.hpp"
+#include "common/types.hpp"
+
+namespace pimtc::tc {
+
+/// Fixed header at MRAM offset 0; written by the host before a launch and
+/// read back after (8-byte fields first keep everything aligned).
+struct DpuMeta {
+  std::uint64_t sample_size = 0;      ///< edges resident in S
+  std::uint64_t edges_seen = 0;       ///< t: edges ever offered to this core
+  std::uint64_t sample_capacity = 0;  ///< M (drives the layout)
+  std::uint64_t triangle_count = 0;   ///< cumulative raw count (output)
+  std::uint64_t num_regions = 0;      ///< region-index size (output)
+  std::uint64_t sorted_size = 0;      ///< edges incorporated into S*
+  std::uint32_t num_remap = 0;        ///< entries in the remap table
+  std::uint32_t flags = 0;            ///< see kFlag* below
+
+  static constexpr std::uint32_t kFlagPersistSorted = 1u << 0;
+  static constexpr std::uint32_t kFlagSortedValid = 1u << 1;
+};
+static_assert(sizeof(DpuMeta) == 56);
+
+/// An entry of the region index: all sorted records in [begin, next.begin)
+/// share `node` as their first endpoint.
+struct RegionEntry {
+  NodeId node = 0;
+  std::uint32_t begin = 0;
+
+  friend constexpr auto operator<=>(const RegionEntry&,
+                                    const RegionEntry&) = default;
+};
+static_assert(sizeof(RegionEntry) == 8);
+
+struct MramLayout {
+  static constexpr std::uint64_t kMetaOffset = 0;
+  static constexpr std::uint64_t kRemapOffset = 64;
+  static constexpr std::uint32_t kMaxRemap = 1024;  ///< 4 KB remap area
+
+  /// First byte of the (raw, arrival-order) sample region: M edges.
+  [[nodiscard]] static constexpr std::uint64_t sample_offset() noexcept {
+    return kRemapOffset + kMaxRemap * sizeof(NodeId);
+  }
+
+  /// Persistent sorted arc array S*: 2M arcs.
+  [[nodiscard]] static constexpr std::uint64_t sorted_offset(
+      std::uint64_t capacity) noexcept {
+    return sample_offset() + capacity * sizeof(Edge);
+  }
+
+  /// One "arrived in the current batch" flag byte per S* arc: 2M bytes.
+  [[nodiscard]] static constexpr std::uint64_t flags_offset(
+      std::uint64_t capacity) noexcept {
+    return sorted_offset(capacity) + 2 * capacity * sizeof(Edge);
+  }
+
+  /// Scratch buffers sized for 2M arcs each (the arc pipelines need them;
+  /// the canonical pipeline uses at most M).
+  [[nodiscard]] static constexpr std::uint64_t work_a_offset(
+      std::uint64_t capacity) noexcept {
+    return round_up(flags_offset(capacity) + 2 * capacity, 8);
+  }
+
+  [[nodiscard]] static constexpr std::uint64_t work_b_offset(
+      std::uint64_t capacity) noexcept {
+    return work_a_offset(capacity) + 2 * capacity * sizeof(Edge);
+  }
+
+  /// Region index: up to 2M entries (one per distinct arc source).
+  [[nodiscard]] static constexpr std::uint64_t region_offset(
+      std::uint64_t capacity) noexcept {
+    return work_b_offset(capacity) + 2 * capacity * sizeof(Edge);
+  }
+
+  /// End of the layout for capacity M.
+  [[nodiscard]] static constexpr std::uint64_t total_bytes(
+      std::uint64_t capacity) noexcept {
+    return region_offset(capacity) + 2 * capacity * sizeof(RegionEntry);
+  }
+
+  /// Largest reservoir capacity M whose full working set fits an MRAM bank:
+  /// 8 + 16 + 2 + 16 + 16 + 16 = 74 bytes per edge slot plus the header.
+  [[nodiscard]] static constexpr std::uint64_t max_capacity(
+      std::uint64_t mram_bytes) noexcept {
+    const std::uint64_t fixed = sample_offset() + 64;
+    if (mram_bytes <= fixed) return 0;
+    return (mram_bytes - fixed) / 74;
+  }
+};
+
+/// New ids assigned to remapped high-degree nodes: rank r (0 = most
+/// frequent) becomes kInvalidNode - 1 - r, above every real node id, so hub
+/// adjacency regions sort last and are never the merge's first stream.
+[[nodiscard]] constexpr NodeId remapped_id(std::uint32_t rank) noexcept {
+  return kInvalidNode - 1 - rank;
+}
+
+}  // namespace pimtc::tc

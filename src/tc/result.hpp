@@ -1,0 +1,43 @@
+// Result of one PIM triangle-counting run.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "pim/system.hpp"
+
+namespace pimtc::tc {
+
+struct TcResult {
+  /// Statistically corrected triangle estimate (Section "Correction math"
+  /// in DESIGN.md).  In exact mode this is an integer equal to the true
+  /// count.
+  double estimate = 0.0;
+
+  /// Sum of raw per-core counts before any correction.
+  TriangleCount raw_total = 0;
+
+  /// True when nothing was sampled away: uniform_p == 1 and no core's
+  /// reservoir overflowed, so `estimate` is exact.
+  bool exact = false;
+
+  /// Cumulative simulated phase times of the owning system (Setup / Sample
+  /// creation / Triangle count), as defined in paper Section 4.1.
+  pim::PimPhaseTimes times;
+
+  // ---- diagnostics --------------------------------------------------------
+  std::uint32_t num_dpus = 0;
+  std::uint64_t edges_streamed = 0;    ///< edges offered to the pipeline
+  std::uint64_t edges_kept = 0;        ///< survived uniform sampling
+  std::uint64_t edges_replicated = 0;  ///< total sent to PIM cores (~C x kept)
+  std::uint64_t min_dpu_edges = 0;     ///< load balance: min t_d
+  std::uint64_t max_dpu_edges = 0;     ///< load balance: max t_d
+  std::uint64_t reservoir_overflows = 0;  ///< cores with t_d > M
+  bool used_incremental = false;  ///< this recount took the incremental path
+
+  [[nodiscard]] TriangleCount rounded() const noexcept {
+    return estimate <= 0 ? 0 : static_cast<TriangleCount>(estimate + 0.5);
+  }
+};
+
+}  // namespace pimtc::tc

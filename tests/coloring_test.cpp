@@ -1,0 +1,222 @@
+// Tests for the coloring-based edge partitioning (paper Section 3.1):
+// triplet enumeration, pair compatibility, the exactly-C replication
+// property, and the triangle-coverage invariant the whole algorithm rests
+// on: every triangle's three edges land together on at least one core, and
+// the multiplicity across cores is exactly 1 for non-monochromatic
+// triangles and C for monochromatic ones.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/math_util.hpp"
+#include "coloring/partitioner.hpp"
+#include "coloring/triplets.hpp"
+
+namespace pimtc::color {
+namespace {
+
+TEST(TripletTableTest, CountMatchesBinomial) {
+  for (std::uint32_t c = 1; c <= 24; ++c) {
+    const TripletTable table(c);
+    EXPECT_EQ(table.num_triplets(), num_triplets(c)) << "C = " << c;
+  }
+}
+
+TEST(TripletTableTest, TwentyThreeColorsIsThePaperConfig) {
+  const TripletTable table(23);
+  EXPECT_EQ(table.num_triplets(), 2300u);
+}
+
+TEST(TripletTableTest, TripletsAreSortedAndUnique) {
+  const TripletTable table(6);
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> seen;
+  for (std::uint32_t i = 0; i < table.num_triplets(); ++i) {
+    const Triplet t = table.triplet(i);
+    EXPECT_LE(t.a, t.b);
+    EXPECT_LE(t.b, t.c);
+    EXPECT_LT(t.c, 6u);
+    EXPECT_TRUE(seen.insert({t.a, t.b, t.c}).second);
+  }
+}
+
+TEST(TripletTableTest, IndexOfRoundTrips) {
+  const TripletTable table(9);
+  for (std::uint32_t i = 0; i < table.num_triplets(); ++i) {
+    EXPECT_EQ(table.index_of(table.triplet(i)), i);
+  }
+}
+
+TEST(TripletTableTest, KindClassification) {
+  EXPECT_EQ((Triplet{2, 2, 2}).kind(), 1u);
+  EXPECT_EQ((Triplet{1, 1, 3}).kind(), 2u);
+  EXPECT_EQ((Triplet{1, 3, 3}).kind(), 2u);
+  EXPECT_EQ((Triplet{0, 1, 2}).kind(), 3u);
+}
+
+TEST(TripletTableTest, MonoIndexPointsAtSingleColorTriplet) {
+  const TripletTable table(7);
+  for (std::uint32_t c = 0; c < 7; ++c) {
+    const Triplet t = table.triplet(table.mono_index(c));
+    EXPECT_EQ(t, (Triplet{c, c, c}));
+  }
+}
+
+TEST(TripletTableTest, PaperExampleTriplet012) {
+  // Paper: triplet (0,1,2) is compatible with pairs (0,1), (1,2), (0,2).
+  const TripletTable table(3);
+  const std::uint32_t idx = table.index_of({0, 1, 2});
+  for (const auto& [c1, c2] : std::vector<std::pair<int, int>>{
+           {0, 1}, {1, 2}, {0, 2}}) {
+    const auto targets = table.targets(c1, c2);
+    EXPECT_NE(std::find(targets.begin(), targets.end(), idx), targets.end())
+        << "pair (" << c1 << "," << c2 << ")";
+  }
+  // And NOT with same-color pairs.
+  for (int c = 0; c < 3; ++c) {
+    const auto targets = table.targets(c, c);
+    EXPECT_EQ(std::find(targets.begin(), targets.end(), idx), targets.end());
+  }
+}
+
+TEST(TripletTableTest, EveryPairHasExactlyCTargets) {
+  // "Each edge is duplicated C times" — Section 3.1.
+  for (std::uint32_t colors : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    const TripletTable table(colors);
+    for (std::uint32_t c1 = 0; c1 < colors; ++c1) {
+      for (std::uint32_t c2 = c1; c2 < colors; ++c2) {
+        const auto targets = table.targets(c1, c2);
+        EXPECT_EQ(targets.size(), colors);
+        // Targets are distinct.
+        std::set<std::uint32_t> unique(targets.begin(), targets.end());
+        EXPECT_EQ(unique.size(), colors);
+      }
+    }
+  }
+}
+
+TEST(TripletTableTest, TargetsActuallyContainThePair) {
+  const TripletTable table(6);
+  for (std::uint32_t c1 = 0; c1 < 6; ++c1) {
+    for (std::uint32_t c2 = c1; c2 < 6; ++c2) {
+      for (const std::uint32_t d : table.targets(c1, c2)) {
+        const Triplet t = table.triplet(d);
+        // The pair {c1,c2} must be a sub-multiset of {t.a,t.b,t.c}.
+        std::multiset<std::uint32_t> tri{t.a, t.b, t.c};
+        auto it1 = tri.find(c1);
+        ASSERT_NE(it1, tri.end());
+        tri.erase(it1);
+        EXPECT_NE(tri.find(c2), tri.end());
+      }
+    }
+  }
+}
+
+TEST(TripletTableTest, TriangleCoverageInvariant) {
+  // For every color combination (x,y,z) of a triangle's corners, the number
+  // of cores receiving all three edges must be C for monochromatic
+  // triangles and exactly 1 otherwise.  This is the counting invariant that
+  // makes the final correction exact.
+  for (std::uint32_t colors : {2u, 3u, 5u, 7u}) {
+    const TripletTable table(colors);
+    for (std::uint32_t x = 0; x < colors; ++x) {
+      for (std::uint32_t y = 0; y < colors; ++y) {
+        for (std::uint32_t z = 0; z < colors; ++z) {
+          // Cores that receive edge (x,y), (y,z) and (x,z) simultaneously.
+          std::map<std::uint32_t, int> hits;
+          for (const auto d : table.targets(x, y)) ++hits[d];
+          for (const auto d : table.targets(y, z)) ++hits[d];
+          for (const auto d : table.targets(x, z)) ++hits[d];
+          int full = 0;
+          for (const auto& [core, n] : hits) full += (n == 3);
+          const bool mono = (x == y && y == z);
+          EXPECT_EQ(full, mono ? static_cast<int>(colors) : 1)
+              << "C=" << colors << " colors (" << x << "," << y << "," << z
+              << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(TripletTableTest, RejectsBadColorCounts) {
+  EXPECT_THROW(TripletTable(0), std::invalid_argument);
+  EXPECT_THROW(TripletTable(300), std::invalid_argument);
+}
+
+// ---- load distribution ----------------------------------------------------------
+
+TEST(TripletTableTest, LoadFollowsN3N6NPattern) {
+  // Section 3.1: with an even color distribution, single-color triplet cores
+  // receive N edges, two-color cores 3N, three-color cores 6N.  Verify the
+  // *expected* load ratio combinatorially: count how many (ordered) color
+  // pairs map to each core, weighted by pair probability.
+  const std::uint32_t colors = 6;
+  const TripletTable table(colors);
+  std::vector<double> load(table.num_triplets(), 0.0);
+  // Ordered endpoint colorings are uniform: P(c1,c2) = 1/C^2.  targets() is
+  // the same for (c1,c2) and (c2,c1); iterate unordered pairs with weight.
+  for (std::uint32_t c1 = 0; c1 < colors; ++c1) {
+    for (std::uint32_t c2 = c1; c2 < colors; ++c2) {
+      const double weight = (c1 == c2) ? 1.0 : 2.0;
+      for (const auto d : table.targets(c1, c2)) load[d] += weight;
+    }
+  }
+  // Normalize by the single-color load.
+  const double n_unit = load[table.mono_index(0)];
+  for (std::uint32_t d = 0; d < table.num_triplets(); ++d) {
+    const double ratio = load[d] / n_unit;
+    switch (table.triplet(d).kind()) {
+      case 1:
+        EXPECT_DOUBLE_EQ(ratio, 1.0);
+        break;
+      case 2:
+        EXPECT_DOUBLE_EQ(ratio, 3.0);
+        break;
+      case 3:
+        EXPECT_DOUBLE_EQ(ratio, 6.0);
+        break;
+      default:
+        FAIL();
+    }
+  }
+}
+
+// ---- partitioner -----------------------------------------------------------------
+
+TEST(PartitionerTest, TargetsMatchTableLookup) {
+  const TripletTable table(5);
+  const ColorHash hash(5, std::uint64_t{11});
+  const EdgePartitioner part(hash, table);
+  for (NodeId u = 0; u < 50; ++u) {
+    for (NodeId v = 0; v < 50; ++v) {
+      const auto direct = table.targets(hash(u), hash(v));
+      const auto via = part.targets(Edge{u, v});
+      ASSERT_EQ(direct.size(), via.size());
+      for (std::size_t i = 0; i < via.size(); ++i) {
+        EXPECT_EQ(direct[i], via[i]);
+      }
+    }
+  }
+}
+
+TEST(PartitionerTest, OrientationInvariantTargets) {
+  const TripletTable table(4);
+  const ColorHash hash(4, std::uint64_t{3});
+  const EdgePartitioner part(hash, table);
+  for (NodeId u = 0; u < 30; ++u) {
+    for (NodeId v = u + 1; v < 30; ++v) {
+      const auto fwd = part.targets(Edge{u, v});
+      const auto rev = part.targets(Edge{v, u});
+      ASSERT_EQ(fwd.size(), rev.size());
+      for (std::size_t i = 0; i < fwd.size(); ++i) EXPECT_EQ(fwd[i], rev[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pimtc::color

@@ -1,0 +1,235 @@
+// Unit tests for src/graph: COO, CSR, preprocessing, stats, reference TC, IO.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/math_util.hpp"
+#include "graph/coo.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/preprocess.hpp"
+#include "graph/reference_tc.hpp"
+#include "graph/stats.hpp"
+
+namespace pimtc::graph {
+namespace {
+
+// ---- EdgeList ---------------------------------------------------------------
+
+TEST(EdgeListTest, TracksNodeBound) {
+  EdgeList list;
+  EXPECT_EQ(list.num_nodes(), 0u);
+  list.push_back({3, 7});
+  EXPECT_EQ(list.num_nodes(), 8u);
+  list.push_back({10, 1});
+  EXPECT_EQ(list.num_nodes(), 11u);
+  EXPECT_EQ(list.num_edges(), 2u);
+}
+
+TEST(EdgeListTest, AppendBatch) {
+  EdgeList list;
+  const std::vector<Edge> batch = {{0, 1}, {1, 2}, {2, 5}};
+  list.append(batch);
+  EXPECT_EQ(list.num_edges(), 3u);
+  EXPECT_EQ(list.num_nodes(), 6u);
+}
+
+TEST(EdgeListTest, RescanAfterMutation) {
+  EdgeList list(std::vector<Edge>{{0, 9}});
+  list.mutable_edges().clear();
+  list.rescan_num_nodes();
+  EXPECT_EQ(list.num_nodes(), 0u);
+}
+
+// ---- CSR --------------------------------------------------------------------
+
+TEST(CsrTest, ForwardOrientationSortedAndDeduplicated) {
+  // Triangle 0-1-2 plus duplicate and reversed copies and a loop.
+  EdgeList coo(std::vector<Edge>{{1, 0}, {0, 1}, {1, 2}, {2, 0}, {2, 2}});
+  const Csr csr = Csr::from_coo(coo);
+  ASSERT_EQ(csr.num_nodes(), 3u);
+  // Forward: 0 -> {1, 2}, 1 -> {2}, 2 -> {}.
+  ASSERT_EQ(csr.degree(0), 2u);
+  EXPECT_EQ(csr.neighbors(0)[0], 1u);
+  EXPECT_EQ(csr.neighbors(0)[1], 2u);
+  ASSERT_EQ(csr.degree(1), 1u);
+  EXPECT_EQ(csr.neighbors(1)[0], 2u);
+  EXPECT_EQ(csr.degree(2), 0u);
+}
+
+TEST(CsrTest, SymmetricDoublesArcs) {
+  EdgeList coo(std::vector<Edge>{{0, 1}, {1, 2}});
+  const Csr sym = Csr::from_coo_symmetric(coo);
+  EXPECT_EQ(sym.num_arcs(), 4u);
+  EXPECT_EQ(sym.degree(1), 2u);
+}
+
+TEST(CsrTest, EmptyGraph) {
+  const Csr csr = Csr::from_coo(EdgeList{});
+  EXPECT_EQ(csr.num_nodes(), 0u);
+  EXPECT_EQ(csr.num_arcs(), 0u);
+}
+
+// ---- preprocess -------------------------------------------------------------
+
+TEST(PreprocessTest, RemovesLoopsAndDuplicates) {
+  EdgeList list(std::vector<Edge>{{0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}});
+  const PreprocessStats stats = remove_loops_and_duplicates(list);
+  EXPECT_EQ(stats.input_edges, 5u);
+  EXPECT_EQ(stats.removed_self_loops, 1u);
+  EXPECT_EQ(stats.removed_duplicates, 2u);  // (1,0) and the second (0,1)
+  EXPECT_EQ(stats.output_edges, 2u);
+  EXPECT_EQ(list.num_edges(), 2u);
+}
+
+TEST(PreprocessTest, ShuffleIsPermutationAndDeterministic) {
+  EdgeList a = gen::complete(12);
+  EdgeList b = gen::complete(12);
+  shuffle_edges(a, 7);
+  shuffle_edges(b, 7);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (std::size_t i = 0; i < a.num_edges(); ++i) EXPECT_EQ(a[i], b[i]);
+
+  // Same multiset of edges as the original.
+  auto sorted_a = std::vector<Edge>(a.begin(), a.end());
+  const EdgeList original = gen::complete(12);
+  auto orig = std::vector<Edge>(original.begin(), original.end());
+  std::sort(sorted_a.begin(), sorted_a.end());
+  std::sort(orig.begin(), orig.end());
+  EXPECT_EQ(sorted_a, orig);
+}
+
+TEST(PreprocessTest, DifferentSeedsDifferentOrders) {
+  EdgeList a = gen::complete(16);
+  EdgeList b = gen::complete(16);
+  shuffle_edges(a, 1);
+  shuffle_edges(b, 2);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.num_edges(); ++i) {
+    if (a[i] != b[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// ---- reference triangle count ------------------------------------------------
+
+TEST(ReferenceTcTest, KnownSmallGraphs) {
+  EXPECT_EQ(reference_triangle_count(gen::complete(3)), 1u);
+  EXPECT_EQ(reference_triangle_count(gen::complete(4)), 4u);
+  EXPECT_EQ(reference_triangle_count(gen::complete(10)), binomial(10, 3));
+  EXPECT_EQ(reference_triangle_count(gen::cycle(3)), 1u);
+  EXPECT_EQ(reference_triangle_count(gen::cycle(10)), 0u);
+  EXPECT_EQ(reference_triangle_count(gen::path(20)), 0u);
+  EXPECT_EQ(reference_triangle_count(gen::star(20)), 0u);
+  EXPECT_EQ(reference_triangle_count(gen::wheel(10)), 9u);
+}
+
+TEST(ReferenceTcTest, OrientationInvariant) {
+  // Reversing edge orientation in the COO must not change the count.
+  EdgeList g = gen::wheel(13);
+  EdgeList reversed;
+  for (const Edge& e : g) reversed.push_back(e.reversed());
+  EXPECT_EQ(reference_triangle_count(g), reference_triangle_count(reversed));
+}
+
+TEST(ReferenceTcTest, DisjointTrianglesAdd) {
+  EdgeList g;
+  for (NodeId base = 0; base < 30; base += 3) {
+    g.push_back({base, static_cast<NodeId>(base + 1)});
+    g.push_back({static_cast<NodeId>(base + 1), static_cast<NodeId>(base + 2)});
+    g.push_back({base, static_cast<NodeId>(base + 2)});
+  }
+  EXPECT_EQ(reference_triangle_count(g), 10u);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(StatsTest, DegreesOfStar) {
+  const auto deg = degrees(gen::star(5));
+  ASSERT_EQ(deg.size(), 5u);
+  EXPECT_EQ(deg[0], 4u);
+  for (int i = 1; i < 5; ++i) EXPECT_EQ(deg[i], 1u);
+}
+
+TEST(StatsTest, DegreeStatsOfCompleteGraph) {
+  const DegreeStats s = degree_stats(gen::complete(6));
+  EXPECT_EQ(s.max_degree, 5u);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 5.0);
+  // Wedges: 6 * C(5,2) = 60.
+  EXPECT_EQ(s.num_wedges, 60u);
+}
+
+TEST(StatsTest, ClusteringCoefficientExtremes) {
+  // Complete graph: GCC = 1.  Star: no triangles -> 0.
+  const EdgeList k6 = gen::complete(6);
+  EXPECT_DOUBLE_EQ(global_clustering(k6, reference_triangle_count(k6)), 1.0);
+  const EdgeList s10 = gen::star(10);
+  EXPECT_DOUBLE_EQ(global_clustering(s10, 0), 0.0);
+}
+
+TEST(StatsTest, DuplicateEdgesDoNotInflateDegrees) {
+  EdgeList g(std::vector<Edge>{{0, 1}, {1, 0}, {0, 1}});
+  const auto deg = degrees(g);
+  EXPECT_EQ(deg[0], 1u);
+  EXPECT_EQ(deg[1], 1u);
+}
+
+// ---- IO ---------------------------------------------------------------------
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "pimtc_io_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, TextRoundTrip) {
+  const EdgeList g = gen::wheel(9);
+  const auto path = dir_ / "wheel.txt";
+  write_coo_text(g, path);
+  const EdgeList back = read_coo_text(path);
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) EXPECT_EQ(back[i], g[i]);
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const EdgeList g = gen::complete(20);
+  const auto path = dir_ / "k20.bin";
+  write_coo_binary(g, path);
+  const EdgeList back = read_coo(path);  // dispatches on .bin
+  ASSERT_EQ(back.num_edges(), g.num_edges());
+  for (std::size_t i = 0; i < g.num_edges(); ++i) EXPECT_EQ(back[i], g[i]);
+}
+
+TEST_F(IoTest, TextSkipsComments) {
+  const auto path = dir_ / "comments.txt";
+  std::ofstream out(path);
+  out << "# SNAP-style comment\n% KONECT-style comment\n1 2\n3 4\n";
+  out.close();
+  const EdgeList g = read_coo_text(path);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g[0], (Edge{1, 2}));
+  EXPECT_EQ(g[1], (Edge{3, 4}));
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_coo_text(dir_ / "nope.txt"), std::runtime_error);
+  EXPECT_THROW(read_coo_binary(dir_ / "nope.bin"), std::runtime_error);
+}
+
+TEST_F(IoTest, BadMagicThrows) {
+  const auto path = dir_ / "bad.bin";
+  std::ofstream out(path, std::ios::binary);
+  out << "NOTMAGIC01234567";
+  out.close();
+  EXPECT_THROW(read_coo_binary(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pimtc::graph

@@ -1,0 +1,431 @@
+// Tests for the DPU counting kernel in isolation: a single DPU is loaded
+// with a full (un-partitioned) edge sample, and the kernel must produce the
+// exact triangle count — checked against the trusted reference.  Also
+// exercises the remap path, layout invariants and WRAM discipline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/preprocess.hpp"
+#include "graph/reference_tc.hpp"
+#include "graph/stats.hpp"
+#include "pim/dpu.hpp"
+#include "tc/kernel.hpp"
+#include "tc/layout.hpp"
+
+namespace pimtc::tc {
+namespace {
+
+pim::PimSystemConfig test_config() {
+  pim::PimSystemConfig cfg;
+  cfg.mram_bytes = 16ull << 20;
+  return cfg;
+}
+
+/// Loads `edges` into a fresh DPU's sample region and runs the kernel.
+DpuMeta run_kernel_on(pim::Dpu& dpu, const std::vector<Edge>& edges,
+                      const KernelParams& params,
+                      const std::vector<NodeId>& remap = {}) {
+  DpuMeta meta;
+  meta.sample_size = edges.size();
+  meta.edges_seen = edges.size();
+  meta.sample_capacity = edges.size() + 1;
+  meta.num_remap = static_cast<std::uint32_t>(remap.size());
+  dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+  if (!remap.empty()) {
+    dpu.mram().write(MramLayout::kRemapOffset, remap.data(),
+                     remap.size() * sizeof(NodeId));
+  }
+  if (!edges.empty()) {
+    dpu.mram().write(MramLayout::sample_offset(), edges.data(),
+                     edges.size() * sizeof(Edge));
+  }
+  run_count_kernel(dpu, params);
+  return dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+}
+
+std::vector<Edge> to_vector(const graph::EdgeList& g) {
+  return {g.begin(), g.end()};
+}
+
+class KernelExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint32_t>> {};
+
+TEST_P(KernelExactnessTest, MatchesReferenceOnRandomGraphs) {
+  const auto [seed, tasklets] = GetParam();
+  const graph::EdgeList g =
+      graph::gen::erdos_renyi(300, 1800, static_cast<std::uint64_t>(seed));
+  const TriangleCount expected = graph::reference_triangle_count(g);
+
+  pim::Dpu dpu(test_config(), 0);
+  KernelParams params;
+  params.tasklets = tasklets;
+  const DpuMeta out = run_kernel_on(dpu, to_vector(g), params);
+  EXPECT_EQ(out.triangle_count, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndTasklets, KernelExactnessTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(1u, 2u, 11u, 16u)));
+
+TEST(KernelTest, EmptySampleCountsZero) {
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out = run_kernel_on(dpu, {}, KernelParams{});
+  EXPECT_EQ(out.triangle_count, 0u);
+  EXPECT_EQ(out.num_regions, 0u);
+}
+
+TEST(KernelTest, SingleEdgeCountsZero) {
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out = run_kernel_on(dpu, {{0, 1}}, KernelParams{});
+  EXPECT_EQ(out.triangle_count, 0u);
+  EXPECT_EQ(out.num_regions, 1u);
+}
+
+TEST(KernelTest, SingleTriangleAnyOrientation) {
+  // All 8 orientation combinations of the triangle's edges must count 1.
+  for (int mask = 0; mask < 8; ++mask) {
+    std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}};
+    for (int b = 0; b < 3; ++b) {
+      if (mask & (1 << b)) edges[b] = edges[b].reversed();
+    }
+    pim::Dpu dpu(test_config(), 0);
+    const DpuMeta out = run_kernel_on(dpu, edges, KernelParams{});
+    EXPECT_EQ(out.triangle_count, 1u) << "orientation mask " << mask;
+  }
+}
+
+TEST(KernelTest, CompleteGraphExactCount) {
+  const graph::EdgeList g = graph::gen::complete(40);  // binom(40,3) = 9880
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out = run_kernel_on(dpu, to_vector(g), KernelParams{});
+  EXPECT_EQ(out.triangle_count, 9880u);
+}
+
+TEST(KernelTest, ShuffledInputSameCount) {
+  graph::EdgeList g = graph::gen::wheel(50);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    graph::shuffle_edges(g, seed);
+    pim::Dpu dpu(test_config(), 0);
+    const DpuMeta out = run_kernel_on(dpu, to_vector(g), KernelParams{});
+    EXPECT_EQ(out.triangle_count, expected) << "seed " << seed;
+  }
+}
+
+TEST(KernelTest, RegionCountEqualsDistinctFirstNodes) {
+  // After canonicalization+sort, regions = distinct min-endpoints.
+  const std::vector<Edge> edges = {{5, 1}, {1, 2}, {2, 3}, {1, 7}, {4, 9}};
+  // canonical first nodes: 1 (from 5,1), 1, 2, 1, 4 -> distinct {1, 2, 4}.
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out = run_kernel_on(dpu, edges, KernelParams{});
+  EXPECT_EQ(out.num_regions, 3u);
+}
+
+TEST(KernelTest, RemapPreservesCount) {
+  // Remapping node ids is a graph isomorphism: counts must not change.
+  const graph::EdgeList g = graph::gen::barabasi_albert(400, 5, 17);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+
+  // Remap the 8 highest-degree nodes (any nodes work for correctness).
+  const auto deg = graph::degrees(g);
+  std::vector<NodeId> by_degree(deg.size());
+  for (NodeId u = 0; u < deg.size(); ++u) by_degree[u] = u;
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&deg](NodeId a, NodeId b) { return deg[a] > deg[b]; });
+  by_degree.resize(8);
+
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out =
+      run_kernel_on(dpu, to_vector(g), KernelParams{}, by_degree);
+  EXPECT_EQ(out.triangle_count, expected);
+}
+
+TEST(KernelTest, RemapReducesWorkOnHubGraphs) {
+  // The point of Section 3.5.  Pathological case for the edge-iterator: hub
+  // 0 (lowest id) neighbors every leaf, and every leaf also points at a
+  // high-id anchor.  Each hub edge (0, x) then merges the *remainder of the
+  // hub's huge region* against region(x) = {anchor}, walking O(deg) edges —
+  // O(deg^2) total.  Remapping the hub to the highest id collapses its
+  // region and the same triangles are found in O(deg) work.
+  const NodeId n = 1500;  // anchor node id
+  graph::EdgeList g;
+  for (NodeId x = 1; x < n; ++x) {
+    g.push_back({0, x});
+    g.push_back({x, n});
+  }
+  g.push_back({0, n});
+  const TriangleCount expected = graph::reference_triangle_count(g);
+  ASSERT_EQ(expected, n - 1);  // triangles (0, x, anchor)
+
+  pim::Dpu plain(test_config(), 0);
+  const DpuMeta out_plain = run_kernel_on(plain, to_vector(g), KernelParams{});
+
+  pim::Dpu remapped(test_config(), 1);
+  const DpuMeta out_remap =
+      run_kernel_on(remapped, to_vector(g), KernelParams{}, {0});  // hub = 0
+
+  EXPECT_EQ(out_plain.triangle_count, expected);
+  EXPECT_EQ(out_remap.triangle_count, expected);
+  // The win must be large, not marginal.
+  EXPECT_LT(remapped.cycles() * 5.0, plain.cycles());
+}
+
+TEST(KernelTest, MoreTaskletsReduceSimulatedTime) {
+  const graph::EdgeList g = graph::gen::erdos_renyi(500, 4000, 5);
+  KernelParams p1;
+  p1.tasklets = 1;
+  KernelParams p16;
+  p16.tasklets = 16;
+
+  pim::Dpu d1(test_config(), 0);
+  (void)run_kernel_on(d1, to_vector(g), p1);
+  pim::Dpu d16(test_config(), 1);
+  (void)run_kernel_on(d16, to_vector(g), p16);
+  EXPECT_LT(d16.cycles(), d1.cycles());
+}
+
+TEST(KernelTest, BufferSizeDoesNotChangeResult) {
+  const graph::EdgeList g = graph::gen::erdos_renyi(400, 3000, 9);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+  for (const std::uint32_t buf : {8u, 16u, 64u, 256u}) {
+    KernelParams p;
+    p.buffer_edges = buf;
+    pim::Dpu dpu(test_config(), 0);
+    const DpuMeta out = run_kernel_on(dpu, to_vector(g), p);
+    EXPECT_EQ(out.triangle_count, expected) << "buffer " << buf;
+  }
+}
+
+TEST(KernelTest, SampleRegionUntouchedByKernel) {
+  // The kernel sorts a *copy*; the reservoir sample must stay byte-identical
+  // (dynamic counting depends on it).
+  const std::vector<Edge> edges = {{9, 2}, {3, 1}, {2, 3}, {1, 9}, {2, 1}};
+  pim::Dpu dpu(test_config(), 0);
+  (void)run_kernel_on(dpu, edges, KernelParams{});
+  std::vector<Edge> after(edges.size());
+  dpu.mram().read(MramLayout::sample_offset(), after.data(),
+                  after.size() * sizeof(Edge));
+  EXPECT_EQ(after, edges);
+}
+
+TEST(KernelTest, RepeatedRunsAreIdempotent) {
+  const graph::EdgeList g = graph::gen::erdos_renyi(200, 1200, 3);
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta first = run_kernel_on(dpu, to_vector(g), KernelParams{});
+  run_count_kernel(dpu, KernelParams{});
+  const DpuMeta second = dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+  EXPECT_EQ(first.triangle_count, second.triangle_count);
+  EXPECT_EQ(first.num_regions, second.num_regions);
+}
+
+TEST(KernelTest, LayoutOffsetsAreDisjoint) {
+  const std::uint64_t cap = 1000;
+  EXPECT_GE(MramLayout::sample_offset(), MramLayout::kRemapOffset +
+                                             MramLayout::kMaxRemap *
+                                                 sizeof(NodeId));
+  // sample (M edges) | S* (2M arcs) | flags (2M bytes) | A (2M) | B (2M) |
+  // regions (2M entries).
+  EXPECT_EQ(MramLayout::sorted_offset(cap),
+            MramLayout::sample_offset() + cap * sizeof(Edge));
+  EXPECT_EQ(MramLayout::flags_offset(cap),
+            MramLayout::sorted_offset(cap) + 2 * cap * sizeof(Edge));
+  EXPECT_GE(MramLayout::work_a_offset(cap),
+            MramLayout::flags_offset(cap) + 2 * cap);
+  EXPECT_EQ(MramLayout::work_b_offset(cap),
+            MramLayout::work_a_offset(cap) + 2 * cap * sizeof(Edge));
+  EXPECT_EQ(MramLayout::region_offset(cap),
+            MramLayout::work_b_offset(cap) + 2 * cap * sizeof(Edge));
+}
+
+TEST(KernelTest, MaxCapacityLeavesRoomForScratch) {
+  const std::uint64_t mram = 64ull << 20;
+  const std::uint64_t cap = MramLayout::max_capacity(mram);
+  EXPECT_GT(cap, 0u);
+  EXPECT_LE(MramLayout::total_bytes(cap), mram);
+}
+
+TEST(KernelTest, RemappedIdsAreAboveAllRealIds) {
+  EXPECT_GT(remapped_id(0), remapped_id(1));
+  EXPECT_EQ(remapped_id(0), kInvalidNode - 1);
+}
+
+// ---- incremental kernel --------------------------------------------------
+
+/// Loads `prefix` edges, runs a persisting full count, appends the rest in
+/// `batches` chunks via the incremental kernel, and returns the final meta.
+DpuMeta run_incremental_on(pim::Dpu& dpu, const std::vector<Edge>& edges,
+                           std::size_t prefix, std::size_t batches,
+                           const KernelParams& params,
+                           const std::vector<NodeId>& remap = {}) {
+  DpuMeta meta;
+  meta.sample_size = prefix;
+  meta.edges_seen = prefix;
+  meta.sample_capacity = edges.size() + 1;
+  meta.num_remap = static_cast<std::uint32_t>(remap.size());
+  meta.flags = DpuMeta::kFlagPersistSorted;
+  dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+  if (!remap.empty()) {
+    dpu.mram().write(MramLayout::kRemapOffset, remap.data(),
+                     remap.size() * sizeof(NodeId));
+  }
+  dpu.mram().write(MramLayout::sample_offset(), edges.data(),
+                   prefix * sizeof(Edge));
+  run_count_kernel(dpu, params);
+
+  const std::size_t rest = edges.size() - prefix;
+  const std::size_t step = std::max<std::size_t>(1, rest / batches);
+  std::size_t done = prefix;
+  while (done < edges.size()) {
+    const std::size_t hi = std::min(edges.size(), done + step);
+    dpu.mram().write(MramLayout::sample_offset() + done * sizeof(Edge),
+                     edges.data() + done, (hi - done) * sizeof(Edge));
+    meta = dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+    meta.sample_size = hi;
+    meta.edges_seen = hi;
+    dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+    run_incremental_kernel(dpu, params);
+    done = hi;
+  }
+  return dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+}
+
+class IncrementalKernelTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(IncrementalKernelTest, CumulativeCountMatchesReference) {
+  const auto [seed, batches] = GetParam();
+  graph::EdgeList g =
+      graph::gen::erdos_renyi(250, 1500, static_cast<std::uint64_t>(seed));
+  graph::shuffle_edges(g, static_cast<std::uint64_t>(seed) + 7);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out = run_incremental_on(dpu, to_vector(g),
+                                         g.num_edges() / 3, batches,
+                                         KernelParams{});
+  EXPECT_EQ(out.triangle_count, expected)
+      << "seed=" << seed << " batches=" << batches;
+}
+
+INSTANTIATE_TEST_SUITE_P(SeedsAndBatches, IncrementalKernelTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3),
+                                            ::testing::Values(1, 3, 7)));
+
+TEST(IncrementalKernelTest, TriangleOwnershipClasses) {
+  // Craft a graph where the update contains triangles with exactly one, two
+  // and three new edges, plus a triangle whose apex is *smaller* than the
+  // new edge's endpoints (the case a canonical-only index would miss).
+  const std::vector<Edge> old_edges = {
+      {0, 1}, {1, 2},          // wedge: closing edge (0,2) arrives later
+      {10, 11},                // one old edge of a 2-new triangle
+      {20, 21}, {20, 22}, {21, 22},  // an old triangle (must not recount)
+      {5, 30}, {5, 31},        // apex 5 < 30,31: new edge (30,31) closes it
+  };
+  const std::vector<Edge> new_edges = {
+      {0, 2},                  // 1-new triangle (0,1,2)
+      {10, 12}, {11, 12},      // 2-new triangle (10,11,12)
+      {40, 41}, {41, 42}, {40, 42},  // 3-new triangle
+      {30, 31},                // closes (5,30,31) with a smaller apex
+  };
+  std::vector<Edge> all = old_edges;
+  all.insert(all.end(), new_edges.begin(), new_edges.end());
+
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out = run_incremental_on(dpu, all, old_edges.size(), 1,
+                                         KernelParams{});
+  // Old triangle counted once by the full pass; four new triangles by the
+  // incremental pass.
+  EXPECT_EQ(out.triangle_count, 5u);
+  EXPECT_EQ(graph::reference_triangle_count(graph::EdgeList(all)), 5u);
+}
+
+TEST(IncrementalKernelTest, MatchesFullRecountOnSkewedGraph) {
+  graph::EdgeList g = graph::gen::barabasi_albert(500, 5, 23);
+  graph::shuffle_edges(g, 24);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out =
+      run_incremental_on(dpu, to_vector(g), g.num_edges() / 2, 4,
+                         KernelParams{});
+  EXPECT_EQ(out.triangle_count, expected);
+}
+
+TEST(IncrementalKernelTest, WorksWithRemapTable) {
+  graph::EdgeList g = graph::gen::barabasi_albert(400, 4, 31);
+  graph::shuffle_edges(g, 32);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+
+  pim::Dpu dpu(test_config(), 0);
+  const DpuMeta out = run_incremental_on(dpu, to_vector(g),
+                                         g.num_edges() / 2, 3, KernelParams{},
+                                         /*remap=*/{0, 1, 2, 3});
+  EXPECT_EQ(out.triangle_count, expected);
+}
+
+TEST(IncrementalKernelTest, EmptyBatchIsNoop) {
+  graph::EdgeList g = graph::gen::complete(20);
+  pim::Dpu dpu(test_config(), 0);
+  DpuMeta meta;
+  meta.sample_size = g.num_edges();
+  meta.edges_seen = g.num_edges();
+  meta.sample_capacity = g.num_edges() + 1;
+  meta.flags = DpuMeta::kFlagPersistSorted;
+  dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+  dpu.mram().write(MramLayout::sample_offset(), g.edges().data(),
+                   g.num_edges() * sizeof(Edge));
+  run_count_kernel(dpu, KernelParams{});
+  const auto before = dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+  run_incremental_kernel(dpu, KernelParams{});
+  const auto after = dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+  EXPECT_EQ(before.triangle_count, after.triangle_count);
+}
+
+TEST(IncrementalKernelTest, RequiresValidSortedState) {
+  pim::Dpu dpu(test_config(), 0);
+  DpuMeta meta;
+  meta.sample_size = 3;
+  meta.sample_capacity = 16;
+  dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {0, 2}};
+  dpu.mram().write(MramLayout::sample_offset(), edges.data(),
+                   edges.size() * sizeof(Edge));
+  EXPECT_THROW(run_incremental_kernel(dpu, KernelParams{}), std::logic_error);
+}
+
+TEST(IncrementalKernelTest, IncrementalIsCheaperThanFullRecount) {
+  // Ten updates: cumulative incremental cycles must undercut re-running the
+  // full kernel after every update — the Figure 7 mechanism.
+  graph::EdgeList g = graph::gen::community(2000, 50, 0.4, 2000, 51);
+  graph::shuffle_edges(g, 52);
+  const auto edges = to_vector(g);
+  const std::size_t prefix = edges.size() / 10;
+
+  pim::Dpu inc(test_config(), 0);
+  (void)run_incremental_on(inc, edges, prefix, 9, KernelParams{});
+
+  // Full-recount baseline: count after each of the same 10 states.
+  pim::Dpu full(test_config(), 1);
+  const std::size_t step = (edges.size() - prefix) / 9;
+  std::size_t done = prefix;
+  for (int i = 0; i < 10; ++i) {
+    DpuMeta meta;
+    meta.sample_size = done;
+    meta.edges_seen = done;
+    meta.sample_capacity = edges.size() + 1;
+    full.mram().write_t(MramLayout::kMetaOffset, meta);
+    full.mram().write(MramLayout::sample_offset(), edges.data(),
+                      done * sizeof(Edge));
+    run_count_kernel(full, KernelParams{});
+    done = std::min(edges.size(), done + step);
+  }
+  EXPECT_LT(inc.cycles(), full.cycles());
+}
+
+}  // namespace
+}  // namespace pimtc::tc

@@ -1,0 +1,242 @@
+// Tests for src/sketch: Misra-Gries guarantees, reservoir uniformity and
+// unbiasedness, uniform sampler statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "sketch/misra_gries.hpp"
+#include "sketch/reservoir.hpp"
+#include "sketch/uniform_sampler.hpp"
+
+namespace pimtc::sketch {
+namespace {
+
+// ---- Misra-Gries --------------------------------------------------------------
+
+TEST(MisraGriesTest, RejectsZeroCapacity) {
+  EXPECT_THROW(MisraGries(0), std::invalid_argument);
+}
+
+TEST(MisraGriesTest, TracksExactlyWhenUnderCapacity) {
+  MisraGries mg(10);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (NodeId u = 0; u < 4; ++u) mg.update(u);
+  }
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(mg.estimate(u), 5u);
+  EXPECT_EQ(mg.estimate(99), 0u);
+}
+
+TEST(MisraGriesTest, NeverExceedsCapacity) {
+  MisraGries mg(8);
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    mg.update(static_cast<NodeId>(rng.next_below(1000)));
+    EXPECT_LE(mg.size(), 8u);
+  }
+}
+
+TEST(MisraGriesTest, HeavyHitterGuarantee) {
+  // Any node with frequency > n/K must be present at the end of the stream.
+  constexpr std::size_t kK = 16;
+  constexpr int kStream = 32000;
+  MisraGries mg(kK);
+  Xoshiro256ss rng(7);
+  // Node 7 gets 20% of the stream (far above 1/16); the rest is uniform
+  // noise over a large id space.
+  int hot_count = 0;
+  for (int i = 0; i < kStream; ++i) {
+    if (rng.next_bernoulli(0.2)) {
+      mg.update(7);
+      ++hot_count;
+    } else {
+      mg.update(static_cast<NodeId>(1000 + rng.next_below(100000)));
+    }
+  }
+  EXPECT_GT(mg.estimate(7), 0u) << "heavy hitter lost";
+  // Underestimation bound: true - estimate <= updates / K.
+  EXPECT_GE(mg.estimate(7) + mg.updates() / kK,
+            static_cast<std::uint64_t>(hot_count));
+}
+
+TEST(MisraGriesTest, UnderestimatesOnly) {
+  MisraGries mg(4);
+  std::map<NodeId, std::uint64_t> truth;
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const auto u = static_cast<NodeId>(rng.next_below(64));
+    mg.update(u);
+    ++truth[u];
+  }
+  for (const auto& [node, estimate] : mg.entries()) {
+    EXPECT_LE(estimate, truth[node]);
+  }
+}
+
+TEST(MisraGriesTest, MergePreservesHeavyHitters) {
+  constexpr std::size_t kK = 8;
+  MisraGries a(kK);
+  MisraGries b(kK);
+  Xoshiro256ss rng(9);
+  // Node 5 is hot in both halves.
+  for (int i = 0; i < 8000; ++i) {
+    MisraGries& target = i % 2 == 0 ? a : b;
+    if (rng.next_bernoulli(0.3)) {
+      target.update(5);
+    } else {
+      target.update(static_cast<NodeId>(100 + rng.next_below(50000)));
+    }
+  }
+  a.merge(b);
+  EXPECT_LE(a.size(), kK);
+  const auto top = a.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 5u);
+}
+
+TEST(MisraGriesTest, TopOrdersByFrequency) {
+  MisraGries mg(16);
+  for (int i = 0; i < 30; ++i) mg.update(3);
+  for (int i = 0; i < 20; ++i) mg.update(1);
+  for (int i = 0; i < 10; ++i) mg.update(2);
+  const auto top = mg.top(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 1u);
+  EXPECT_EQ(top[2], 2u);
+}
+
+TEST(MisraGriesTest, TopTruncatesAndTiesBreakBySmallerId) {
+  MisraGries mg(16);
+  mg.update(9);
+  mg.update(4);  // tie at frequency 1
+  const auto top = mg.top(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0], 4u);
+  EXPECT_EQ(top[1], 9u);
+}
+
+TEST(MisraGriesTest, UpdateEdgeCountsBothEndpoints) {
+  MisraGries mg(8);
+  mg.update_edge({1, 2});
+  mg.update_edge({1, 3});
+  EXPECT_EQ(mg.estimate(1), 2u);
+  EXPECT_EQ(mg.estimate(2), 1u);
+  EXPECT_EQ(mg.updates(), 4u);
+}
+
+// ---- reservoir -----------------------------------------------------------------
+
+TEST(ReservoirTest, KeepsEverythingUnderCapacity) {
+  ReservoirSampler<int> r(100, 1);
+  for (int i = 0; i < 80; ++i) r.offer(i);
+  ASSERT_EQ(r.items().size(), 80u);
+  for (int i = 0; i < 80; ++i) EXPECT_EQ(r.items()[i], i);
+}
+
+TEST(ReservoirTest, NeverExceedsCapacity) {
+  ReservoirSampler<int> r(50, 2);
+  for (int i = 0; i < 5000; ++i) {
+    r.offer(i);
+    EXPECT_LE(r.items().size(), 50u);
+  }
+  EXPECT_EQ(r.seen(), 5000u);
+}
+
+TEST(ReservoirTest, InclusionProbabilityIsUniform) {
+  // Every item must survive with probability M/t.  Run many independent
+  // reservoirs and check per-item inclusion frequency.
+  constexpr std::uint64_t kM = 20;
+  constexpr int kStream = 200;
+  constexpr int kTrials = 3000;
+  std::vector<int> included(kStream, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReservoirSampler<int> r(kM, 1000 + trial);
+    for (int i = 0; i < kStream; ++i) r.offer(i);
+    for (const int item : r.items()) ++included[item];
+  }
+  const double expected = kTrials * static_cast<double>(kM) / kStream;
+  for (int i = 0; i < kStream; ++i) {
+    EXPECT_NEAR(included[i], expected, expected * 0.30)
+        << "item " << i << " over/under-sampled";
+  }
+}
+
+TEST(ReservoirTest, PolicyCountsSeenAndStored) {
+  ReservoirPolicy p(10, 3);
+  for (int i = 0; i < 7; ++i) (void)p.offer();
+  EXPECT_EQ(p.seen(), 7u);
+  EXPECT_EQ(p.stored(), 7u);
+  for (int i = 0; i < 13; ++i) (void)p.offer();
+  EXPECT_EQ(p.seen(), 20u);
+  EXPECT_EQ(p.stored(), 10u);
+}
+
+TEST(ReservoirTest, DecisionsAreValid) {
+  ReservoirPolicy p(5, 4);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto d = p.offer();
+    EXPECT_EQ(d.action, ReservoirDecision::Action::kAppend);
+    EXPECT_EQ(d.slot, i);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = p.offer();
+    EXPECT_NE(d.action, ReservoirDecision::Action::kAppend);
+    if (d.action == ReservoirDecision::Action::kReplace) {
+      EXPECT_LT(d.slot, 5u);
+    }
+  }
+}
+
+TEST(ReservoirTest, ReplacementRateMatchesTheory) {
+  // P(replace at step t) = M/t; total replacements over (M, N] concentrate
+  // around M * ln(N/M).
+  constexpr std::uint64_t kM = 64;
+  constexpr std::uint64_t kN = 6400;
+  int replaced = 0;
+  ReservoirPolicy p(kM, 5);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    if (p.offer().action == ReservoirDecision::Action::kReplace) ++replaced;
+  }
+  const double expected = kM * std::log(static_cast<double>(kN) / kM);
+  EXPECT_NEAR(replaced, expected, expected * 0.25);
+}
+
+// ---- uniform sampler -------------------------------------------------------------
+
+TEST(UniformSamplerTest, KeepAllAtPOne) {
+  UniformSampler s(1.0, 1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(s.keep(Edge{static_cast<NodeId>(i), static_cast<NodeId>(i + 1)}));
+  }
+  EXPECT_EQ(s.kept(), 100u);
+  EXPECT_DOUBLE_EQ(s.correction(), 1.0);
+}
+
+TEST(UniformSamplerTest, KeepRateConverges) {
+  for (const double p : {0.5, 0.25, 0.1, 0.01}) {
+    UniformSampler s(p, 77);
+    const int n = 200000;
+    int kept = 0;
+    for (int i = 0; i < n; ++i) {
+      kept += s.keep(Edge{1, 2});
+    }
+    EXPECT_NEAR(static_cast<double>(kept) / n, p, 0.05 * std::max(p, 0.02))
+        << "p = " << p;
+    EXPECT_DOUBLE_EQ(s.correction(), 1.0 / (p * p * p));
+  }
+}
+
+TEST(UniformSamplerTest, DeterministicPerSeed) {
+  UniformSampler a(0.3, 5);
+  UniformSampler b(0.3, 5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.keep(Edge{1, 2}), b.keep(Edge{1, 2}));
+  }
+}
+
+}  // namespace
+}  // namespace pimtc::sketch

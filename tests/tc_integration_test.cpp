@@ -1,0 +1,414 @@
+// End-to-end tests of the full PIM triangle-counting pipeline: coloring
+// partition + transfers + reservoir + kernel + statistical corrections,
+// validated against the trusted reference counter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/paper_graphs.hpp"
+#include "graph/preprocess.hpp"
+#include "graph/reference_tc.hpp"
+#include "tc/host.hpp"
+
+namespace pimtc::tc {
+namespace {
+
+pim::PimSystemConfig small_banks() {
+  pim::PimSystemConfig cfg;
+  cfg.mram_bytes = 8ull << 20;  // keep simulated banks small in tests
+  return cfg;
+}
+
+TcConfig exact_config(std::uint32_t colors, std::uint64_t seed = 42) {
+  TcConfig cfg;
+  cfg.num_colors = colors;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// ---- exactness across colors / graphs / seeds -------------------------------
+
+class ExactCountTest
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, int>> {};
+
+TEST_P(ExactCountTest, MatchesReferenceOnErdosRenyi) {
+  const auto [colors, seed] = GetParam();
+  graph::EdgeList g = graph::gen::erdos_renyi(
+      600, 4000, static_cast<std::uint64_t>(seed) + 100);
+  graph::preprocess(g, 7);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+
+  PimTriangleCounter counter(
+      exact_config(colors, static_cast<std::uint64_t>(seed)), small_banks());
+  const TcResult result = counter.count(g);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.rounded(), expected)
+      << "colors=" << colors << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ColorsAndSeeds, ExactCountTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 6u, 8u),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(TcIntegrationTest, ExactOnStructuredGraphs) {
+  for (const auto& [g, expected] :
+       std::vector<std::pair<graph::EdgeList, TriangleCount>>{
+           {graph::gen::complete(30), binomial(30, 3)},
+           {graph::gen::wheel(40), 39},
+           {graph::gen::cycle(50), 0},
+           {graph::gen::star(100), 0},
+       }) {
+    PimTriangleCounter counter(exact_config(4), small_banks());
+    const TcResult result = counter.count(g);
+    EXPECT_TRUE(result.exact);
+    EXPECT_EQ(result.rounded(), expected);
+  }
+}
+
+TEST(TcIntegrationTest, ExactOnSkewedGraph) {
+  graph::EdgeList g = graph::gen::barabasi_albert(800, 6, 3);
+  graph::preprocess(g, 5);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+  PimTriangleCounter counter(exact_config(5), small_banks());
+  EXPECT_EQ(counter.count(g).rounded(), expected);
+}
+
+TEST(TcIntegrationTest, ExactWithMisraGriesRemapEnabled) {
+  // MG remapping must never change an exact count (isomorphism).
+  graph::EdgeList g = graph::gen::barabasi_albert(600, 5, 11);
+  graph::preprocess(g, 13);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+
+  TcConfig cfg = exact_config(4);
+  cfg.misra_gries_enabled = true;
+  cfg.mg_capacity = 64;
+  cfg.mg_top = 12;
+  PimTriangleCounter counter(cfg, small_banks());
+  const TcResult result = counter.count(g);
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.rounded(), expected);
+}
+
+TEST(TcIntegrationTest, MonochromaticCorrectionIsExercised) {
+  // With a single color every triangle is monochromatic and counted by the
+  // one DPU; with two colors monochromatic triangles are counted twice and
+  // corrected.  Both must give the exact result.
+  graph::EdgeList g = graph::gen::complete(25);
+  const TriangleCount expected = binomial(25, 3);
+  for (const std::uint32_t colors : {1u, 2u}) {
+    PimTriangleCounter counter(exact_config(colors), small_banks());
+    EXPECT_EQ(counter.count(g).rounded(), expected) << "C=" << colors;
+  }
+}
+
+TEST(TcIntegrationTest, RawTotalOvercountsWithoutCorrection) {
+  // Sanity check that the correction is doing real work: the raw sum over
+  // cores must exceed the true count whenever monochromatic triangles exist.
+  graph::EdgeList g = graph::gen::complete(20);
+  PimTriangleCounter counter(exact_config(3), small_banks());
+  const TcResult result = counter.count(g);
+  EXPECT_GT(result.raw_total, result.rounded());
+}
+
+// ---- replication / load facts ------------------------------------------------
+
+TEST(TcIntegrationTest, EdgesReplicatedExactlyCTimes) {
+  graph::EdgeList g = graph::gen::erdos_renyi(300, 2000, 1);
+  graph::preprocess(g, 2);
+  for (const std::uint32_t colors : {2u, 5u, 7u}) {
+    PimTriangleCounter counter(exact_config(colors), small_banks());
+    const TcResult result = counter.count(g);
+    EXPECT_EQ(result.edges_replicated,
+              static_cast<std::uint64_t>(colors) * g.num_edges());
+  }
+}
+
+TEST(TcIntegrationTest, UsesBinomialNumberOfDpus) {
+  graph::EdgeList g = graph::gen::erdos_renyi(100, 500, 1);
+  for (const std::uint32_t colors : {1u, 3u, 6u}) {
+    PimTriangleCounter counter(exact_config(colors), small_banks());
+    EXPECT_EQ(counter.count(g).num_dpus, num_triplets(colors));
+  }
+}
+
+TEST(TcIntegrationTest, SelfLoopsIgnored) {
+  graph::EdgeList g = graph::gen::complete(10);
+  g.push_back({3, 3});
+  g.push_back({7, 7});
+  PimTriangleCounter counter(exact_config(3), small_banks());
+  EXPECT_EQ(counter.count(g).rounded(), binomial(10, 3));
+}
+
+// ---- uniform sampling ----------------------------------------------------------
+
+TEST(TcIntegrationTest, UniformSamplingApproximates) {
+  graph::EdgeList g = graph::gen::community(3000, 60, 0.5, 2000, 21);
+  graph::preprocess(g, 22);
+  const auto truth =
+      static_cast<double>(graph::reference_triangle_count(g));
+
+  TcConfig cfg = exact_config(3);
+  cfg.uniform_p = 0.5;
+  // Average over a few seeds: DOULION at p=0.5 on a triangle-rich graph
+  // should land within a few percent.
+  double sum = 0;
+  const int trials = 5;
+  for (int s = 0; s < trials; ++s) {
+    cfg.seed = 1000 + s;
+    PimTriangleCounter counter(cfg, small_banks());
+    const TcResult r = counter.count(g);
+    EXPECT_FALSE(r.exact);
+    sum += r.estimate;
+  }
+  EXPECT_NEAR(sum / trials, truth, truth * 0.08);
+}
+
+TEST(TcIntegrationTest, UniformSamplingReducesTransferVolume) {
+  graph::EdgeList g = graph::gen::erdos_renyi(2000, 20000, 5);
+  TcConfig cfg = exact_config(3);
+  cfg.uniform_p = 0.1;
+  PimTriangleCounter counter(cfg, small_banks());
+  const TcResult r = counter.count(g);
+  // ~10% of edges kept (binomial concentration), each replicated C times.
+  EXPECT_NEAR(static_cast<double>(r.edges_kept), 2000.0, 300.0);
+  EXPECT_EQ(r.edges_replicated, 3 * r.edges_kept);
+}
+
+// ---- reservoir sampling ---------------------------------------------------------
+
+TEST(TcIntegrationTest, ReservoirKicksInWhenCapacityLimited) {
+  graph::EdgeList g = graph::gen::community(2000, 50, 0.5, 1000, 31);
+  graph::preprocess(g, 32);
+  const auto truth =
+      static_cast<double>(graph::reference_triangle_count(g));
+
+  TcConfig cfg = exact_config(2);
+  // Expected max per-core load is 6|E|/C^2; cap at a quarter of it.
+  cfg.sample_capacity_edges = static_cast<std::uint64_t>(
+      0.25 * 6.0 * static_cast<double>(g.num_edges()) / 4.0);
+
+  double sum = 0;
+  const int trials = 5;
+  for (int s = 0; s < trials; ++s) {
+    cfg.seed = 2000 + s;
+    PimTriangleCounter counter(cfg, small_banks());
+    const TcResult r = counter.count(g);
+    EXPECT_FALSE(r.exact);
+    EXPECT_GT(r.reservoir_overflows, 0u);
+    sum += r.estimate;
+  }
+  EXPECT_NEAR(sum / trials, truth, truth * 0.15);
+}
+
+TEST(TcIntegrationTest, ReservoirExactWhenCapacitySuffices) {
+  graph::EdgeList g = graph::gen::erdos_renyi(400, 3000, 8);
+  const TriangleCount expected = graph::reference_triangle_count(g);
+  TcConfig cfg = exact_config(2);
+  cfg.sample_capacity_edges = 3000 * 6;  // comfortably above any t_d
+  PimTriangleCounter counter(cfg, small_banks());
+  const TcResult r = counter.count(g);
+  EXPECT_TRUE(r.exact);
+  EXPECT_EQ(r.rounded(), expected);
+}
+
+// ---- dynamic updates -------------------------------------------------------------
+
+TEST(TcIntegrationTest, DynamicUpdatesMatchStaticRecount) {
+  graph::EdgeList g = graph::gen::community(1200, 40, 0.5, 800, 41);
+  graph::preprocess(g, 42);
+  const auto edges = g.edges();
+
+  PimTriangleCounter dynamic(exact_config(3), small_banks());
+  const std::size_t step = edges.size() / 4;
+  graph::EdgeList accumulated;
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t lo = i * step;
+    const std::size_t hi = (i == 3) ? edges.size() : (i + 1) * step;
+    dynamic.add_edges(edges.subspan(lo, hi - lo));
+    accumulated.append(edges.subspan(lo, hi - lo));
+
+    const TcResult r = dynamic.recount();
+    EXPECT_TRUE(r.exact);
+    EXPECT_EQ(r.rounded(), graph::reference_triangle_count(accumulated))
+        << "after update " << i;
+  }
+}
+
+TEST(TcIntegrationTest, RecountWithoutNewEdgesIsStable) {
+  graph::EdgeList g = graph::gen::erdos_renyi(300, 2500, 9);
+  PimTriangleCounter counter(exact_config(3), small_banks());
+  counter.add_edges(g.edges());
+  const TcResult a = counter.recount();
+  const TcResult b = counter.recount();
+  EXPECT_EQ(a.rounded(), b.rounded());
+}
+
+// ---- incremental mode ----------------------------------------------------------
+
+TEST(TcIncrementalTest, MatchesStaticAcrossUpdates) {
+  graph::EdgeList g = graph::gen::community(1500, 40, 0.5, 1000, 61);
+  graph::preprocess(g, 62);
+  const auto edges = g.edges();
+
+  TcConfig cfg = exact_config(3);
+  cfg.incremental = true;
+  PimTriangleCounter dynamic(cfg, small_banks());
+  graph::EdgeList accumulated;
+  const std::size_t step = edges.size() / 5;
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t lo = i * step;
+    const std::size_t hi = (i == 4) ? edges.size() : (i + 1) * step;
+    dynamic.add_edges(edges.subspan(lo, hi - lo));
+    accumulated.append(edges.subspan(lo, hi - lo));
+
+    const TcResult r = dynamic.recount();
+    EXPECT_TRUE(r.exact);
+    // First recount is the full pass; all later ones take the fast path.
+    EXPECT_EQ(r.used_incremental, i > 0) << "update " << i;
+    EXPECT_EQ(r.rounded(), graph::reference_triangle_count(accumulated))
+        << "after update " << i;
+  }
+}
+
+TEST(TcIncrementalTest, AgreesWithNonIncrementalAndMisraGries) {
+  graph::EdgeList g = graph::gen::barabasi_albert(900, 5, 71);
+  graph::preprocess(g, 72);
+  const auto edges = g.edges();
+  const std::size_t half = edges.size() / 2;
+
+  TcConfig cfg = exact_config(4);
+  cfg.misra_gries_enabled = true;
+  cfg.mg_capacity = 128;
+  cfg.mg_top = 16;
+
+  TcConfig inc_cfg = cfg;
+  inc_cfg.incremental = true;
+
+  PimTriangleCounter plain(cfg, small_banks());
+  PimTriangleCounter inc(inc_cfg, small_banks());
+  for (const auto part : {edges.subspan(0, half), edges.subspan(half)}) {
+    plain.add_edges(part);
+    inc.add_edges(part);
+    EXPECT_EQ(plain.recount().rounded(), inc.recount().rounded());
+  }
+}
+
+TEST(TcIncrementalTest, RecountWithoutNewEdgesStable) {
+  graph::EdgeList g = graph::gen::erdos_renyi(400, 3000, 81);
+  TcConfig cfg = exact_config(3);
+  cfg.incremental = true;
+  PimTriangleCounter counter(cfg, small_banks());
+  counter.add_edges(g.edges());
+  const TcResult a = counter.recount();
+  const TcResult b = counter.recount();  // no new edges
+  EXPECT_EQ(a.rounded(), b.rounded());
+  EXPECT_TRUE(b.used_incremental);
+}
+
+TEST(TcIncrementalTest, FallsBackToFullOnReservoirOverflow) {
+  graph::EdgeList g = graph::gen::erdos_renyi(800, 12000, 91);
+  graph::preprocess(g, 92);
+  TcConfig cfg = exact_config(2);
+  cfg.incremental = true;
+  cfg.sample_capacity_edges = 2000;  // well below the per-core load
+  PimTriangleCounter counter(cfg, small_banks());
+  const auto edges = g.edges();
+  counter.add_edges(edges.subspan(0, edges.size() / 2));
+  const TcResult first = counter.recount();
+  counter.add_edges(edges.subspan(edges.size() / 2));
+  const TcResult second = counter.recount();
+  // Overflow forces full recounts; the estimate stays close to truth.
+  EXPECT_FALSE(first.used_incremental);
+  EXPECT_FALSE(second.used_incremental);
+  EXPECT_GT(second.reservoir_overflows, 0u);
+  const auto truth = static_cast<double>(graph::reference_triangle_count(g));
+  EXPECT_NEAR(second.estimate, truth, truth * 0.4);
+}
+
+TEST(TcIncrementalTest, IncrementalRecountIsCheaper) {
+  graph::EdgeList g = graph::gen::community(2500, 60, 0.5, 2000, 93);
+  graph::preprocess(g, 94);
+  const auto edges = g.edges();
+  const std::size_t step = edges.size() / 6;
+
+  const auto run = [&](bool incremental) {
+    TcConfig cfg = exact_config(4);
+    cfg.incremental = incremental;
+    PimTriangleCounter counter(cfg, small_banks());
+    double count_s = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      const std::size_t lo = i * step;
+      const std::size_t hi = (i == 5) ? edges.size() : (i + 1) * step;
+      counter.system().reset_times();
+      counter.add_edges(edges.subspan(lo, hi - lo));
+      count_s += counter.recount().times.count_s;
+    }
+    return count_s;
+  };
+
+  EXPECT_LT(run(true), run(false));
+}
+
+// ---- phase accounting --------------------------------------------------------------
+
+TEST(TcIntegrationTest, PhaseTimesArePopulated) {
+  graph::EdgeList g = graph::gen::erdos_renyi(500, 4000, 3);
+  PimTriangleCounter counter(exact_config(4), small_banks());
+  const TcResult r = counter.count(g);
+  EXPECT_GT(r.times.setup_s, 0.0);
+  EXPECT_GT(r.times.sample_creation_s, 0.0);
+  EXPECT_GT(r.times.count_s, 0.0);
+}
+
+TEST(TcIntegrationTest, LoadBalanceWithinTripletKinds) {
+  // Max load should be within the 6x band of the N/3N/6N analysis (plus
+  // stochastic slack).
+  graph::EdgeList g = graph::gen::erdos_renyi(3000, 30000, 6);
+  graph::preprocess(g, 6);
+  PimTriangleCounter counter(exact_config(5), small_banks());
+  const TcResult r = counter.count(g);
+  ASSERT_GT(r.min_dpu_edges, 0u);
+  EXPECT_LE(static_cast<double>(r.max_dpu_edges),
+            8.0 * static_cast<double>(r.min_dpu_edges));
+}
+
+// ---- configuration validation -------------------------------------------------------
+
+TEST(TcConfigTest, RejectsInvalidConfigs) {
+  EXPECT_THROW(PimTriangleCounter(exact_config(0), small_banks()),
+               std::invalid_argument);
+
+  TcConfig bad_p = exact_config(2);
+  bad_p.uniform_p = 0.0;
+  EXPECT_THROW(PimTriangleCounter(bad_p, small_banks()),
+               std::invalid_argument);
+  bad_p.uniform_p = 1.5;
+  EXPECT_THROW(PimTriangleCounter(bad_p, small_banks()),
+               std::invalid_argument);
+
+  TcConfig bad_tasklets = exact_config(2);
+  bad_tasklets.tasklets = 0;
+  EXPECT_THROW(PimTriangleCounter(bad_tasklets, small_banks()),
+               std::invalid_argument);
+
+  // Too many colors for the machine.
+  pim::PimSystemConfig tiny = small_banks();
+  tiny.max_dpus = 4;
+  EXPECT_THROW(PimTriangleCounter(exact_config(3), tiny),
+               std::invalid_argument);
+}
+
+TEST(TcConfigTest, PaperScaleColorsFitPaperMachine) {
+  // C=23 -> 2300 DPUs <= 2560: constructible (tiny banks to stay light).
+  pim::PimSystemConfig cfg;
+  cfg.mram_bytes = 1 << 20;
+  TcConfig tc = exact_config(23);
+  EXPECT_NO_THROW(PimTriangleCounter(tc, cfg));
+}
+
+}  // namespace
+}  // namespace pimtc::tc

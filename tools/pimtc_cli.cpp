@@ -1,0 +1,208 @@
+// pimtc — command-line front end for the library.
+//
+//   pimtc generate --kind=rmat --edges=100000 --out=g.txt [--seed=42]
+//   pimtc stats    --graph=g.txt
+//   pimtc count    --graph=g.txt [--colors=8] [--p=1.0] [--capacity=0]
+//                  [--misra-gries] [--mg-top=32] [--exact-check]
+//
+// `count` runs the full PIM pipeline (preprocess -> partition -> simulate)
+// and prints the estimate, the phase breakdown and the core-load profile;
+// --exact-check additionally verifies against the reference counter.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baseline/cpu_tc.hpp"
+#include "common/math_util.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/paper_graphs.hpp"
+#include "graph/preprocess.hpp"
+#include "graph/reference_tc.hpp"
+#include "graph/stats.hpp"
+#include "tc/host.hpp"
+
+namespace {
+
+using namespace pimtc;
+
+[[noreturn]] void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  pimtc generate --kind=<rmat|er|ba|community|road|paper:NAME>\n"
+      "                 --edges=<n> --out=<file> [--seed=<s>]\n"
+      "  pimtc stats    --graph=<file>\n"
+      "  pimtc count    --graph=<file> [--colors=<C>] [--p=<keep prob>]\n"
+      "                 [--capacity=<edges/core>] [--misra-gries]\n"
+      "                 [--mg-top=<t>] [--incremental] [--exact-check]\n");
+  std::exit(2);
+}
+
+/// --key=value argument bag.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--", 2) != 0) usage();
+      const char* eq = std::strchr(a, '=');
+      if (eq) {
+        kv_[std::string(a + 2, eq)] = eq + 1;
+      } else {
+        kv_[a + 2] = "1";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return kv_.contains(key);
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.str("kind", "rmat");
+  const auto edges = static_cast<EdgeCount>(args.num("edges", 100'000));
+  const auto seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  const std::string out = args.str("out");
+  if (out.empty()) usage();
+
+  graph::EdgeList g;
+  if (kind == "rmat") {
+    std::uint32_t scale = 10;
+    while ((1ull << scale) * 16 < edges && scale < 28) ++scale;
+    g = graph::gen::rmat(scale, edges, graph::gen::RmatParams{}, seed);
+  } else if (kind == "er") {
+    g = graph::gen::erdos_renyi(static_cast<NodeId>(edges / 8), edges, seed);
+  } else if (kind == "ba") {
+    g = graph::gen::barabasi_albert(static_cast<NodeId>(edges / 5), 5, seed);
+  } else if (kind == "community") {
+    g = graph::gen::community(static_cast<NodeId>(edges / 25), 64, 0.6,
+                              edges / 20, seed);
+  } else if (kind == "road") {
+    g = graph::gen::road_like(static_cast<NodeId>(edges), 2.2, 32, seed);
+  } else if (kind.starts_with("paper:")) {
+    const std::string name = kind.substr(6);
+    bool found = false;
+    for (const auto pg : graph::kAllPaperGraphs) {
+      if (name == graph::paper_graph_info(pg).name) {
+        g = graph::make_paper_graph(pg, args.num("scale", 0.5), seed);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr, "unknown paper graph '%s'\n", name.c_str());
+      return 2;
+    }
+  } else {
+    usage();
+  }
+
+  if (out.ends_with(".bin")) {
+    graph::write_coo_binary(g, out);
+  } else {
+    graph::write_coo_text(g, out);
+  }
+  std::printf("wrote %zu edges / %u nodes to %s\n", g.num_edges(),
+              g.num_nodes(), out.c_str());
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const std::string path = args.str("graph");
+  if (path.empty()) usage();
+  graph::EdgeList g = graph::read_coo(path);
+  const graph::PreprocessStats pre = graph::remove_loops_and_duplicates(g);
+  const graph::DegreeStats deg = graph::degree_stats(g);
+  const TriangleCount tri = graph::reference_triangle_count(g);
+  std::printf("%s\n", path.c_str());
+  std::printf("  edges:       %zu (raw %zu; %zu loops, %zu dups removed)\n",
+              g.num_edges(), pre.input_edges, pre.removed_self_loops,
+              pre.removed_duplicates);
+  std::printf("  nodes:       %u\n", g.num_nodes());
+  std::printf("  triangles:   %llu\n", static_cast<unsigned long long>(tri));
+  std::printf("  max degree:  %llu (node %u)\n",
+              static_cast<unsigned long long>(deg.max_degree),
+              deg.argmax_node);
+  std::printf("  avg degree:  %.2f\n", deg.avg_degree);
+  std::printf("  clustering:  %.4g\n", graph::global_clustering(g, tri));
+  return 0;
+}
+
+int cmd_count(const Args& args) {
+  const std::string path = args.str("graph");
+  if (path.empty()) usage();
+  graph::EdgeList g = graph::read_coo(path);
+  graph::preprocess(g, static_cast<std::uint64_t>(args.num("seed", 42)));
+
+  tc::TcConfig cfg;
+  cfg.num_colors = static_cast<std::uint32_t>(args.num("colors", 8));
+  cfg.uniform_p = args.num("p", 1.0);
+  cfg.sample_capacity_edges =
+      static_cast<std::uint64_t>(args.num("capacity", 0));
+  cfg.misra_gries_enabled = args.flag("misra-gries");
+  cfg.mg_top = static_cast<std::uint32_t>(args.num("mg-top", 32));
+  cfg.incremental = args.flag("incremental");
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+
+  tc::PimTriangleCounter counter(cfg);
+  const tc::TcResult r = counter.count(g);
+
+  std::printf("graph:      %zu edges / %u nodes\n", g.num_edges(),
+              g.num_nodes());
+  std::printf("estimate:   %.0f (%s)\n", r.estimate,
+              r.exact ? "exact" : "approximate");
+  std::printf("cores:      %u (C=%u), load %llu..%llu edges, %llu "
+              "overflowed reservoirs\n",
+              r.num_dpus, cfg.num_colors,
+              static_cast<unsigned long long>(r.min_dpu_edges),
+              static_cast<unsigned long long>(r.max_dpu_edges),
+              static_cast<unsigned long long>(r.reservoir_overflows));
+  std::printf("replicated: %llu edges (C x kept %llu of %llu streamed)\n",
+              static_cast<unsigned long long>(r.edges_replicated),
+              static_cast<unsigned long long>(r.edges_kept),
+              static_cast<unsigned long long>(r.edges_streamed));
+  std::printf("sim time:   setup %.2f ms | sample %.2f ms | count %.2f ms "
+              "(+%.2f ms local host)\n",
+              r.times.setup_s * 1e3, r.times.sample_creation_s * 1e3,
+              r.times.count_s * 1e3, r.times.host_s * 1e3);
+
+  if (args.flag("exact-check")) {
+    const TriangleCount truth = graph::reference_triangle_count(g);
+    const double err = relative_error(r.estimate, static_cast<double>(truth));
+    std::printf("reference:  %llu (relative error %.4f%%)\n",
+                static_cast<unsigned long long>(truth), err * 100.0);
+    if (r.exact && r.rounded() != truth) {
+      std::printf("MISMATCH in exact mode — this is a bug\n");
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  if (cmd == "generate") return cmd_generate(args);
+  if (cmd == "stats") return cmd_stats(args);
+  if (cmd == "count") return cmd_count(args);
+  usage();
+}
