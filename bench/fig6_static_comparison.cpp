@@ -4,20 +4,20 @@
 // excluded, exactly as in the paper).
 //
 // Method (see DESIGN.md): the stand-in graph runs at --scale; the CPU
-// baseline's intersection-step profile and the PIM simulator's count time
-// are then projected linearly to the published |E| of each dataset, and the
-// CPU/GPU platform models (DRAM-regime rates of a dual Xeon 4215 and an
-// A100) convert work to seconds.
+// backend's intersection-step profile and the PIM backend's simulated count
+// time are then projected linearly to the published |E| of each dataset,
+// and the CPU/GPU platform models (DRAM-regime rates of a dual Xeon 4215
+// and an A100) convert work to seconds.  Both backends run through the
+// engine registry; the comparison glue is the same for any future backend.
 //
 // Paper claims: GPU > CPU > PIM on every graph except Human-Jung, where the
 // PIM system wins outright (huge triangle count, low max degree).
 #include <algorithm>
 #include <string>
 
-#include "baseline/cpu_tc.hpp"
-#include "baseline/device_model.hpp"
 #include "bench_util.hpp"
-#include "tc/host.hpp"
+#include "engine/platform_model.hpp"
+#include "engine/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace pimtc;
@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
       "PIM wins",
       opt);
 
-  const baseline::PlatformModel cpu_model = baseline::xeon_4215_model();
-  const baseline::PlatformModel gpu_model = baseline::a100_model();
+  const engine::PlatformModel cpu_model = engine::xeon_4215_model();
+  const engine::PlatformModel gpu_model = engine::a100_model();
 
   std::printf("%-14s %10s %10s %10s | %9s %9s   (speedup over CPU)\n",
               "graph", "CPU (s)", "GPU (s)", "PIM (s)", "GPU x", "PIM x");
@@ -45,10 +45,9 @@ int main(int argc, char** argv) {
                          static_cast<double>(list.num_edges());
 
     // CPU work profile at our scale, projected to paper |E|.
-    const baseline::CpuTcResult cpu =
-        baseline::CpuTriangleCounter().count(list);
+    const engine::CountReport cpu = engine::make_engine("cpu")->count(list);
     const double steps_paper =
-        static_cast<double>(cpu.profile.intersection_steps) * ratio;
+        static_cast<double>(cpu.work.intersection_steps) * ratio;
     const double cpu_s =
         cpu_model.fixed_overhead_s + steps_paper / cpu_model.steps_per_s;
     const double gpu_s =
@@ -58,14 +57,13 @@ int main(int argc, char** argv) {
     // parameters in the cross-platform comparison).
     double pim_count_s = 1e300;
     for (const bool mg : {false, true}) {
-      tc::TcConfig cfg;
+      engine::EngineConfig cfg;
       cfg.num_colors = opt.colors;
       cfg.seed = opt.seed;
       cfg.misra_gries_enabled = mg;
       cfg.mg_capacity = 1024;
       cfg.mg_top = 32;
-      tc::PimTriangleCounter counter(cfg);
-      const tc::TcResult r = counter.count(list);
+      const engine::CountReport r = engine::make_engine("pim", cfg)->count(list);
       pim_count_s = std::min(pim_count_s, r.times.count_s);
     }
     const double pim_s = pim_count_s * ratio;

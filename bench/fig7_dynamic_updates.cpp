@@ -7,7 +7,8 @@
 // representations directly and "quickly begin counting the triangles formed
 // by the newly updated set of edges" (Section 4.6) — here: the incremental
 // recount mode, which merges the batch into each core's persistent sorted
-// arc array and counts only new-edge triangles.
+// arc array and counts only new-edge triangles.  All comparators are
+// streaming sessions of the same engine interface from the registry.
 //
 // Projection: per-update *simulated* PIM time (transfers + device cycles;
 // locally measured 2-core host time excluded) and the CPU work profile are
@@ -16,11 +17,9 @@
 //
 // Paper claim: cumulative CPU time grows far faster than PIM and GPU; PIM
 // beats the CPU on dynamic COO streams despite losing statically.
-#include "baseline/cpu_tc.hpp"
-#include "baseline/device_model.hpp"
-#include "baseline/dynamic_cpu.hpp"
 #include "bench_util.hpp"
-#include "tc/host.hpp"
+#include "engine/platform_model.hpp"
+#include "engine/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace pimtc;
@@ -38,25 +37,25 @@ int main(int argc, char** argv) {
   const double ratio = static_cast<double>(info.paper_edges) /
                        static_cast<double>(full.num_edges());
 
-  const baseline::PlatformModel cpu_model = baseline::xeon_4215_model();
-  const baseline::PlatformModel gpu_model = baseline::a100_model();
+  const engine::PlatformModel cpu_model = engine::xeon_4215_model();
+  const engine::PlatformModel gpu_model = engine::a100_model();
 
   constexpr int kUpdates = 10;
   const std::size_t step = full.num_edges() / kUpdates;
   const auto edges = full.edges();
 
-  tc::TcConfig cfg;
+  engine::EngineConfig cfg;
   cfg.num_colors = opt.colors;
   cfg.seed = opt.seed;
   cfg.misra_gries_enabled = true;
   cfg.mg_capacity = 1024;
   cfg.mg_top = 32;
   cfg.incremental = true;  // the COO-native dynamic path
-  tc::PimTriangleCounter pim(cfg);
-  tc::TcConfig naive_cfg = cfg;
+  auto pim = engine::make_engine("pim", cfg);
+  engine::EngineConfig naive_cfg = cfg;
   naive_cfg.incremental = false;  // re-sort + full recount every update
-  tc::PimTriangleCounter pim_naive(naive_cfg);
-  baseline::DynamicCpuCounter cpu;
+  auto pim_naive = engine::make_engine("pim", naive_cfg);
+  auto cpu = engine::make_engine("cpu", cfg);
 
   double pim_cum = 0.0;
   double naive_cum = 0.0;
@@ -78,30 +77,30 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(batch.size() * sizeof(Edge) * ratio);
 
     // PIM: transfer the new batch only, recount incrementally.
-    pim.system().reset_times();
-    pim.add_edges(batch);
-    const tc::TcResult r = pim.recount();
+    pim->reset_timers();
+    pim->add_edges(batch);
+    const engine::CountReport r = pim->recount();
     // Simulated device+transfer seconds, scaled to paper |E|; the paper
     // host's batch building is a streaming pass over C x batch bytes.
     const double host_model_s =
         static_cast<double>(batch_bytes) * opt.colors / 25e9;
     const double pim_update =
-        (r.times.sample_creation_s + r.times.count_s) * ratio + host_model_s;
+        (r.times.ingest_s + r.times.count_s) * ratio + host_model_s;
     pim_cum += pim_update;
     if (u == 0) pim_first = pim_update;
     if (u == kUpdates - 1) pim_last = pim_update;
 
     // PIM without the incremental mode (the naive dynamic baseline).
-    pim_naive.system().reset_times();
-    pim_naive.add_edges(batch);
-    const tc::TcResult rn = pim_naive.recount();
-    naive_cum += (rn.times.sample_creation_s + rn.times.count_s) * ratio +
+    pim_naive->reset_timers();
+    pim_naive->add_edges(batch);
+    const engine::CountReport rn = pim_naive->recount();
+    naive_cum += (rn.times.ingest_s + rn.times.count_s) * ratio +
                  host_model_s;
 
     // CPU / GPU: platform models over the accumulated graph's profile.
-    cpu.add_edges(batch);
-    const baseline::CpuTcResult c = cpu.recount();
-    baseline::TcWorkProfile scaled = c.profile;
+    cpu->add_edges(batch);
+    const engine::CountReport c = cpu->recount();
+    engine::WorkProfile scaled = c.work;
     scaled.conversion_ops =
         static_cast<std::uint64_t>(scaled.conversion_ops * ratio);
     scaled.intersection_steps =
@@ -116,7 +115,7 @@ int main(int argc, char** argv) {
                 static_cast<double>(hi) * ratio, cpu_cum, gpu_cum, pim_cum,
                 naive_cum,
                 r.used_incremental ? "" : "  [full recount]",
-                r.rounded() == c.triangles ? "" : "  <-- COUNT MISMATCH");
+                r.rounded() == c.rounded() ? "" : "  <-- COUNT MISMATCH");
   }
 
   std::printf("\nSpeedup over CPU (cumulative): GPU %.2fx, PIM %.2fx; "

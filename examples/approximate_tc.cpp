@@ -3,22 +3,24 @@
 //
 // Runs the same graph through (a) exact counting, (b) uniform (DOULION)
 // sampling at several keep-probabilities, and (c) reservoir sampling at
-// several per-core capacities, printing estimate, relative error and the
-// simulated sample-creation/count times so the trade-offs are visible.
+// several per-core capacities — all through the same "pim" engine from the
+// registry — printing estimate, relative error and the simulated
+// ingest/count times so the trade-offs are visible.
 #include <cstdio>
 
 #include "common/math_util.hpp"
+#include "engine/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/preprocess.hpp"
 #include "graph/reference_tc.hpp"
-#include "tc/host.hpp"
 
 namespace {
 
-void report(const char* label, const pimtc::tc::TcResult& r, double truth) {
+void report(const char* label, const pimtc::engine::CountReport& r,
+            double truth) {
   std::printf("%-24s %14.0f %9.3f%% %12.2f %12.2f\n", label, r.estimate,
               pimtc::relative_error(r.estimate, truth) * 100.0,
-              r.times.sample_creation_s * 1e3, r.times.count_s * 1e3);
+              r.times.ingest_s * 1e3, r.times.count_s * 1e3);
 }
 
 }  // namespace
@@ -33,25 +35,21 @@ int main() {
               g.num_edges(), g.num_nodes(), truth);
 
   std::printf("%-24s %14s %10s %12s %12s\n", "mode", "estimate", "rel.err",
-              "sample(ms)", "count(ms)");
+              "ingest(ms)", "count(ms)");
 
-  tc::TcConfig base;
+  engine::EngineConfig base;
   base.num_colors = 6;
   base.seed = 99;
 
-  {
-    tc::PimTriangleCounter counter(base);
-    report("exact", counter.count(g), truth);
-  }
+  report("exact", engine::make_engine("pim", base)->count(g), truth);
 
   // Uniform sampling: discard edges at the host, correct by 1/p^3.
   for (const double p : {0.5, 0.25, 0.1}) {
-    tc::TcConfig cfg = base;
+    engine::EngineConfig cfg = base;
     cfg.uniform_p = p;
-    tc::PimTriangleCounter counter(cfg);
     char label[64];
     std::snprintf(label, sizeof label, "uniform p=%.2f", p);
-    report(label, counter.count(g), truth);
+    report(label, engine::make_engine("pim", cfg)->count(g), truth);
   }
 
   // Reservoir sampling: cap each core's sample at a fraction of the
@@ -59,17 +57,16 @@ int main() {
   const double expected_max =
       6.0 * static_cast<double>(g.num_edges()) / (6.0 * 6.0);
   for (const double frac : {0.5, 0.25, 0.1}) {
-    tc::TcConfig cfg = base;
+    engine::EngineConfig cfg = base;
     cfg.sample_capacity_edges =
         static_cast<std::uint64_t>(expected_max * frac);
-    tc::PimTriangleCounter counter(cfg);
     char label[64];
     std::snprintf(label, sizeof label, "reservoir M=%.2f*max", frac);
-    report(label, counter.count(g), truth);
+    report(label, engine::make_engine("pim", cfg)->count(g), truth);
   }
 
   std::printf(
-      "\nUniform sampling cuts transfer volume (sample time) and counting\n"
+      "\nUniform sampling cuts transfer volume (ingest time) and counting\n"
       "work; reservoir sampling adapts to the memory bound without choosing\n"
       "p by hand, at slightly higher sample-creation cost.\n");
   return 0;

@@ -1,19 +1,16 @@
 // Dynamic-graph triangle counting (the Figure 7 scenario).
 //
 // A stream of edge batches arrives; after every batch the application wants
-// a fresh triangle count.  COO-native engines (the PIM counter) just append
+// a fresh triangle count.  COO-native engines (the PIM backend) just append
 // the batch and recount; a CSR-internal engine must rebuild its whole
-// structure from the accumulated COO first.  This example runs both and
-// prints the per-update and cumulative costs.
+// structure from the accumulated COO first.  Both run as streaming sessions
+// of the same engine interface; only the registry name differs.
 #include <cstdio>
-#include <vector>
 
-#include "baseline/cpu_tc.hpp"
-#include "baseline/device_model.hpp"
-#include "baseline/dynamic_cpu.hpp"
+#include "engine/platform_model.hpp"
+#include "engine/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/preprocess.hpp"
-#include "tc/host.hpp"
 
 int main() {
   using namespace pimtc;
@@ -26,12 +23,12 @@ int main() {
   constexpr int kUpdates = 10;
   const std::size_t step = edges.size() / kUpdates;
 
-  tc::TcConfig config;
+  engine::EngineConfig config;
   config.num_colors = 6;      // 56 PIM cores
   config.incremental = true;  // COO-native: merge batches, count only new
-  tc::PimTriangleCounter pim(config);
-  baseline::DynamicCpuCounter cpu;
-  const baseline::PlatformModel cpu_model = baseline::xeon_4215_model();
+  auto pim = engine::make_engine("pim", config);
+  auto cpu = engine::make_engine("cpu", config);
+  const engine::PlatformModel cpu_model = engine::xeon_4215_model();
 
   std::printf("%7s %12s %14s %14s %14s\n", "update", "edges", "triangles",
               "PIM cum (ms)", "CPU cum (ms)");
@@ -45,20 +42,20 @@ int main() {
 
     // PIM: transfer only the new batch, recount incrementally (simulated
     // device + transfer time; local host time excluded).
-    pim.system().reset_times();
-    pim.add_edges(batch);
-    const tc::TcResult r = pim.recount();
-    pim_cum += r.times.sample_creation_s + r.times.count_s;
+    pim->reset_timers();
+    pim->add_edges(batch);
+    const engine::CountReport r = pim->recount();
+    pim_cum += r.times.ingest_s + r.times.count_s;
 
     // CPU: append is free, but the recount pays a full CSR rebuild.
-    cpu.add_edges(batch);
-    const baseline::CpuTcResult c = cpu.recount();
-    cpu_cum += cpu_model.dynamic_seconds(c.profile, batch.size() * sizeof(Edge));
+    cpu->add_edges(batch);
+    const engine::CountReport c = cpu->recount();
+    cpu_cum += cpu_model.dynamic_seconds(c.work, batch.size() * sizeof(Edge));
 
     std::printf("%7d %12zu %14llu %14.2f %14.2f%s\n", u + 1, hi,
                 static_cast<unsigned long long>(r.rounded()), pim_cum * 1e3,
                 cpu_cum * 1e3,
-                r.rounded() == c.triangles ? "" : "  <-- MISMATCH");
+                r.rounded() == c.rounded() ? "" : "  <-- MISMATCH");
   }
 
   std::printf("\nCumulative: PIM %.1f ms vs CPU(model) %.1f ms.\n",

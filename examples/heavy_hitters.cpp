@@ -1,15 +1,15 @@
 // Misra-Gries high-degree handling (Section 3.5).
 //
 // Builds a Wikipedia-like graph with extreme hub nodes, shows that the
-// host-side Misra-Gries summaries find the true heavy hitters, and compares
-// the simulated counting time with remapping off vs on.
+// host-side Misra-Gries summaries find the true heavy hitters (surfaced as
+// CountReport diagnostics), and compares the simulated counting time with
+// remapping off vs on.
 #include <cstdio>
-#include <vector>
 
+#include "engine/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/preprocess.hpp"
 #include "graph/stats.hpp"
-#include "tc/host.hpp"
 
 int main() {
   using namespace pimtc;
@@ -29,30 +29,28 @@ int main() {
               stats.argmax_node);
 
   // --- run with Misra-Gries enabled, inspect the summary -------------------
-  tc::TcConfig cfg;
+  engine::EngineConfig cfg;
   cfg.num_colors = 6;
   cfg.misra_gries_enabled = true;
   cfg.mg_capacity = 512;  // K
   cfg.mg_top = 8;         // t
 
-  tc::PimTriangleCounter with_mg(cfg);
-  const tc::TcResult r_mg = with_mg.count(g);
+  const engine::CountReport r_mg = engine::make_engine("pim", cfg)->count(g);
 
   const auto deg = graph::degrees(g);
   std::printf("Top-%u nodes found by the merged Misra-Gries summaries:\n",
               cfg.mg_top);
   std::printf("%8s %14s %14s\n", "node", "MG estimate", "true degree");
-  for (const NodeId node : with_mg.heavy_hitters().top(cfg.mg_top)) {
-    std::printf("%8u %14llu %14llu\n", node,
-                static_cast<unsigned long long>(
-                    with_mg.heavy_hitters().estimate(node)),
-                static_cast<unsigned long long>(deg[node]));
+  for (const engine::HeavyHitter& hh : r_mg.heavy_hitters) {
+    std::printf("%8u %14llu %14llu\n", hh.node,
+                static_cast<unsigned long long>(hh.estimated_degree),
+                static_cast<unsigned long long>(deg[hh.node]));
   }
 
   // --- same run without remapping -------------------------------------------
   cfg.misra_gries_enabled = false;
-  tc::PimTriangleCounter without_mg(cfg);
-  const tc::TcResult r_plain = without_mg.count(g);
+  const engine::CountReport r_plain =
+      engine::make_engine("pim", cfg)->count(g);
 
   std::printf("\n%-18s %14s %14s\n", "", "count (ms)", "triangles");
   std::printf("%-18s %14.2f %14llu\n", "MG remap OFF",

@@ -3,15 +3,15 @@
 //   $ ./quickstart [path/to/graph.txt]
 //
 // Without an argument a small synthetic social graph is generated.  The
-// example walks the full public API: preprocess -> configure -> count ->
-// inspect phase times, and cross-checks against the CPU baseline.
+// example walks the full public API: preprocess -> make_engine -> count ->
+// inspect the unified report, and cross-checks against the CPU backend
+// through the same engine interface.
 #include <cstdio>
 
-#include "baseline/cpu_tc.hpp"
+#include "engine/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/preprocess.hpp"
-#include "tc/host.hpp"
 
 int main(int argc, char** argv) {
   using namespace pimtc;
@@ -34,35 +34,37 @@ int main(int argc, char** argv) {
               g.num_edges(), g.num_nodes(), pre.removed_self_loops,
               pre.removed_duplicates);
 
-  // 3. Configure the PIM triangle counter: 8 colors -> binom(10,3) = 120
-  //    PIM cores, 16 tasklets each, exact mode.
-  tc::TcConfig config;
+  // 3. Configure the engine: 8 colors -> binom(10,3) = 120 PIM cores,
+  //    16 tasklets each, exact mode.  Any registered backend accepts the
+  //    same config — that is the whole point of the engine layer.
+  engine::EngineConfig config;
   config.num_colors = 8;
   config.tasklets = 16;
-  tc::PimTriangleCounter counter(config);
 
-  // 4. Count.
-  const tc::TcResult result = counter.count(g);
+  // 4. Count on the PIM backend.
+  auto pim = engine::make_engine("pim", config);
+  const engine::CountReport result = pim->count(g);
   std::printf("\nPIM result: %llu triangles (%s)\n",
               static_cast<unsigned long long>(result.rounded()),
               result.exact ? "exact" : "approximate");
-  std::printf("  PIM cores used:      %u\n", result.num_dpus);
+  std::printf("  PIM cores used:      %u\n", result.num_units);
   std::printf("  edges replicated:    %llu (= C x |E|)\n",
               static_cast<unsigned long long>(result.edges_replicated));
   std::printf("  per-core load:       %llu .. %llu edges\n",
-              static_cast<unsigned long long>(result.min_dpu_edges),
-              static_cast<unsigned long long>(result.max_dpu_edges));
-  std::printf("  simulated times:     setup %.2f ms | sample %.2f ms | count %.2f ms\n",
-              result.times.setup_s * 1e3, result.times.sample_creation_s * 1e3,
+              static_cast<unsigned long long>(result.min_unit_edges),
+              static_cast<unsigned long long>(result.max_unit_edges));
+  std::printf("  simulated times:     setup %.2f ms | ingest %.2f ms | count %.2f ms\n",
+              result.times.setup_s * 1e3, result.times.ingest_s * 1e3,
               result.times.count_s * 1e3);
 
-  // 5. Cross-check with the CPU baseline.
-  const baseline::CpuTcResult cpu = baseline::CpuTriangleCounter().count(g);
+  // 5. Cross-check with the CPU backend through the same interface.
+  auto cpu = engine::make_engine("cpu", config);
+  const engine::CountReport check = cpu->count(g);
   std::printf("\nCPU baseline: %llu triangles (convert %.2f ms + count %.2f ms)\n",
-              static_cast<unsigned long long>(cpu.triangles),
-              cpu.measured_convert_s * 1e3, cpu.measured_count_s * 1e3);
-  std::printf("%s\n", cpu.triangles == result.rounded()
+              static_cast<unsigned long long>(check.rounded()),
+              check.times.ingest_s * 1e3, check.times.count_s * 1e3);
+  std::printf("%s\n", check.rounded() == result.rounded()
                           ? "Counts agree."
                           : "COUNTS DISAGREE — this is a bug.");
-  return cpu.triangles == result.rounded() ? 0 : 1;
+  return check.rounded() == result.rounded() ? 0 : 1;
 }

@@ -14,21 +14,16 @@
 
 #include "common/thread_pool.hpp"
 #include "common/types.hpp"
+#include "common/work_profile.hpp"
 #include "graph/coo.hpp"
 
 namespace pimtc::baseline {
 
-/// Platform-independent operation counts of one COO -> count run.
-struct TcWorkProfile {
-  std::uint64_t edges = 0;
-  std::uint64_t nodes = 0;
-  /// Records moved while building the oriented CSR (degree count pass +
-  /// scatter pass + sort; roughly 3|E| + |E| log(avg deg)).
-  std::uint64_t conversion_ops = 0;
-  /// Comparisons consumed by all adjacency-merge intersections.
-  std::uint64_t intersection_steps = 0;
-  TriangleCount triangles = 0;
-};
+/// Platform-independent operation counts of one COO -> count run.  The type
+/// is shared with the unified engine report (engine::WorkProfile aliases it
+/// too) so that a CountReport's work profile feeds the platform models
+/// directly.
+using TcWorkProfile = pimtc::WorkProfile;
 
 struct CpuTcResult {
   TriangleCount triangles = 0;

@@ -1,0 +1,28 @@
+// Platform-independent operation counts of one triangle-counting run.
+//
+// Lives in common/ because two layers share it from opposite sides: the CPU
+// baseline records it while counting (baseline::CpuTriangleCounter), and
+// the engine layer reports it (engine::CountReport) so the analytic
+// platform models (baseline/device_model.hpp) can convert any backend's
+// profile to seconds when projecting to hardware that does not exist in
+// this environment.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace pimtc {
+
+struct WorkProfile {
+  std::uint64_t edges = 0;
+  std::uint64_t nodes = 0;
+  /// Records moved while building the internal structure (CSR conversion:
+  /// degree pass + scatter pass + sort; roughly 3|E| + |E| log(avg deg)).
+  std::uint64_t conversion_ops = 0;
+  /// Comparisons / membership probes consumed by the counting phase.
+  std::uint64_t intersection_steps = 0;
+  TriangleCount triangles = 0;
+};
+
+}  // namespace pimtc

@@ -1,0 +1,72 @@
+// Unified configuration for every triangle-counting backend.
+//
+// EngineConfig absorbs the former tc::TcConfig (pipeline knobs), the
+// pim::PimSystemConfig (machine model) and the baseline's threading knob so
+// that one struct configures any engine from the registry.  Backends read
+// the subset they understand: the CPU engines only look at `host_threads`
+// and `seed`; the PIM engine consumes everything.  validate() rejects
+// configurations that are nonsense for *any* backend, so a config accepted
+// once is accepted by every engine.
+#pragma once
+
+#include <cstdint>
+
+#include "pim/config.hpp"
+#include "tc/config.hpp"
+
+namespace pimtc::engine {
+
+struct EngineConfig {
+  // ---- shared across backends ---------------------------------------------
+  /// Host CPU threads (0 = hardware concurrency).
+  std::uint32_t host_threads = 0;
+
+  /// Seed for every randomized component (coloring hash, samplers).
+  std::uint64_t seed = 42;
+
+  /// Dynamic-graph mode: recount() processes only edges added since the
+  /// previous count where the backend supports it (PIM persistent sorted
+  /// arcs, incremental CPU adjacency); otherwise recount is from scratch.
+  bool incremental = false;
+
+  // ---- approximation dials (PIM backend) ----------------------------------
+  /// Uniform (DOULION) keep probability p; 1.0 = exact mode.
+  double uniform_p = 1.0;
+
+  /// Maximum edges stored per PIM core (the reservoir capacity M).
+  /// 0 derives the largest capacity that fits the DRAM bank layout.
+  std::uint64_t sample_capacity_edges = 0;
+
+  // ---- PIM pipeline --------------------------------------------------------
+  /// Number of vertex colors C; the run uses binom(C+2, 3) PIM cores.
+  /// The engine API requires C >= 2 (C == 1 degenerates to a single core
+  /// counting a monochromatic copy of the whole graph).
+  std::uint32_t num_colors = 8;
+
+  /// PIM threads per core; the paper evaluates with 16.
+  std::uint32_t tasklets = 16;
+
+  /// Misra-Gries high-degree remapping (paper Section 3.5).
+  bool misra_gries_enabled = false;
+  std::uint32_t mg_capacity = 1024;  ///< K: counters per host-thread summary
+  std::uint32_t mg_top = 16;         ///< t: nodes remapped on the PIM cores
+
+  /// Per-stream WRAM staging buffer, in edges, for the counting kernel.
+  std::uint32_t wram_buffer_edges = 64;
+
+  /// Machine model of the simulated UPMEM system.
+  pim::PimSystemConfig pim{};
+
+  /// Instruction-cost table used by the simulated kernels.
+  pim::KernelCostModel cost{};
+
+  /// Throws std::invalid_argument describing the first violated invariant.
+  /// make_engine() calls this before constructing any backend.
+  void validate() const;
+
+  /// Projection onto the legacy PIM pipeline config (internal use by the
+  /// PIM engine; kept public so white-box tests can cross-check).
+  [[nodiscard]] tc::TcConfig to_tc_config() const noexcept;
+};
+
+}  // namespace pimtc::engine

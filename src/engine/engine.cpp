@@ -1,0 +1,70 @@
+#include "engine/engine.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "common/math_util.hpp"
+#include "tc/layout.hpp"
+
+namespace pimtc::engine {
+
+CountReport TriangleCountEngine::count(const graph::EdgeList& graph) {
+  add_edges(graph.edges());
+  return recount();
+}
+
+void EngineConfig::validate() const {
+  if (num_colors < 2) {
+    throw std::invalid_argument(
+        "EngineConfig: num_colors must be >= 2 (C == 1 degenerates to one "
+        "monochromatic core)");
+  }
+  const std::uint64_t dpus = num_triplets(num_colors);
+  if (dpus > pim.max_dpus) {
+    throw std::invalid_argument(
+        "EngineConfig: " + std::to_string(num_colors) + " colors need " +
+        std::to_string(dpus) + " PIM cores but the system has " +
+        std::to_string(pim.max_dpus));
+  }
+  if (tasklets == 0 || tasklets > pim.max_tasklets) {
+    throw std::invalid_argument(
+        "EngineConfig: tasklets must be in [1, " +
+        std::to_string(pim.max_tasklets) + "], got " +
+        std::to_string(tasklets));
+  }
+  if (!(uniform_p > 0.0 && uniform_p <= 1.0)) {  // also rejects NaN
+    throw std::invalid_argument("EngineConfig: uniform_p must be in (0, 1]");
+  }
+  if (wram_buffer_edges == 0) {
+    throw std::invalid_argument(
+        "EngineConfig: wram_buffer_edges must be >= 1");
+  }
+  if (misra_gries_enabled && (mg_capacity == 0 || mg_top == 0)) {
+    throw std::invalid_argument(
+        "EngineConfig: Misra-Gries needs mg_capacity >= 1 and mg_top >= 1");
+  }
+  const std::uint64_t max_cap = tc::MramLayout::max_capacity(pim.mram_bytes);
+  if (max_cap == 0) {
+    throw std::invalid_argument(
+        "EngineConfig: MRAM bank too small to hold any sample");
+  }
+}
+
+tc::TcConfig EngineConfig::to_tc_config() const noexcept {
+  tc::TcConfig cfg;
+  cfg.num_colors = num_colors;
+  cfg.tasklets = tasklets;
+  cfg.host_threads = host_threads;
+  cfg.sample_capacity_edges = sample_capacity_edges;
+  cfg.uniform_p = uniform_p;
+  cfg.misra_gries_enabled = misra_gries_enabled;
+  cfg.mg_capacity = mg_capacity;
+  cfg.mg_top = mg_top;
+  cfg.wram_buffer_edges = wram_buffer_edges;
+  cfg.incremental = incremental;
+  cfg.seed = seed;
+  cfg.cost = cost;
+  return cfg;
+}
+
+}  // namespace pimtc::engine

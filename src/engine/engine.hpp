@@ -1,0 +1,89 @@
+// TriangleCountEngine: the backend-polymorphic public API of the library.
+//
+// Every backend (simulated-PIM pipeline, CPU baseline, incremental CPU) is
+// one implementation of this interface, constructed through the registry
+// (registry.hpp).  Drivers — the CLI, the examples, the comparison benches —
+// program against this interface only, which is what makes a new backend a
+// drop-in registration instead of another bespoke driver.
+//
+// Two usage shapes:
+//
+//   * one-shot static counting:
+//       auto eng = engine::make_engine("pim", cfg);
+//       engine::CountReport r = eng->count(graph);
+//
+//   * streaming session (the dynamic-graph use case, Figure 7):
+//       auto eng = engine::make_engine("pim", cfg);
+//       for (auto batch : updates) {
+//         eng->add_edges(batch);
+//         engine::CountReport r = eng->recount();
+//       }
+//
+// An engine is a stateful session: edges accumulate across add_edges()
+// calls (count() is add_edges + recount in one step) and recount() is
+// idempotent — recounting without new edges returns the same estimate.
+#pragma once
+
+#include <span>
+
+#include "engine/config.hpp"
+#include "engine/report.hpp"
+#include "graph/coo.hpp"
+
+namespace pimtc::engine {
+
+/// What a backend can do, given the config it was constructed with.
+/// Drivers branch on these instead of on backend names.
+struct EngineCapabilities {
+  /// Results are exact for this configuration (no sampling in effect).
+  bool exact = false;
+  /// add_edges()/recount() streaming sessions are supported.
+  bool streaming = false;
+  /// recount() cost is proportional to the new edges, not the whole graph.
+  bool incremental_recount = false;
+  /// Reported device phase times are model-simulated, not wall-clock.
+  bool simulated_time = false;
+  /// CountReport::work is populated with a meaningful operation profile.
+  bool work_profile = false;
+};
+
+class TriangleCountEngine {
+ public:
+  virtual ~TriangleCountEngine() = default;
+
+  TriangleCountEngine(const TriangleCountEngine&) = delete;
+  TriangleCountEngine& operator=(const TriangleCountEngine&) = delete;
+
+  /// One-shot static counting: stream the whole graph into the session,
+  /// then count.  Equivalent to add_edges(graph.edges()) + recount().
+  virtual CountReport count(const graph::EdgeList& graph);
+
+  /// Streams one batch of edges into the session (dynamic updates).  Self
+  /// loops are dropped; edges are expected deduplicated across the whole
+  /// stream (see graph::preprocess) unless the backend states otherwise.
+  virtual void add_edges(std::span<const Edge> batch) = 0;
+
+  /// Counts over everything streamed so far and returns the corrected
+  /// estimate.  Idempotent: recounting without new edges returns the same
+  /// result.
+  virtual CountReport recount() = 0;
+
+  /// Capabilities under the config this engine was constructed with.
+  [[nodiscard]] virtual EngineCapabilities capabilities() const = 0;
+
+  /// Registry name this engine was constructed under ("pim", "cpu", ...).
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  [[nodiscard]] const EngineConfig& config() const noexcept { return config_; }
+
+  /// Zeroes the accumulated phase times (per-update deltas in the dynamic
+  /// benches).  Does not touch the streamed edges or counting state.
+  virtual void reset_timers() = 0;
+
+ protected:
+  explicit TriangleCountEngine(const EngineConfig& config) : config_(config) {}
+
+  EngineConfig config_;
+};
+
+}  // namespace pimtc::engine

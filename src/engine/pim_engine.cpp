@@ -1,0 +1,60 @@
+#include "engine/pim_engine.hpp"
+
+namespace pimtc::engine {
+
+PimEngine::PimEngine(const EngineConfig& config)
+    : TriangleCountEngine(config),
+      counter_(config.to_tc_config(), config.pim) {}
+
+void PimEngine::add_edges(std::span<const Edge> batch) {
+  counter_.add_edges(batch);
+}
+
+CountReport PimEngine::recount() {
+  const tc::TcResult r = counter_.recount();
+
+  CountReport report;
+  report.backend = name();
+  report.estimate = r.estimate;
+  report.exact = r.exact;
+  report.raw_total = r.raw_total;
+  report.times.setup_s = r.times.setup_s;
+  report.times.ingest_s = r.times.sample_creation_s;
+  report.times.count_s = r.times.count_s;
+  report.times.host_s = r.times.host_s;
+  report.simulated_times = true;
+  report.num_units = r.num_dpus;
+  report.edges_streamed = r.edges_streamed;
+  report.edges_kept = r.edges_kept;
+  report.edges_replicated = r.edges_replicated;
+  report.min_unit_edges = r.min_dpu_edges;
+  report.max_unit_edges = r.max_dpu_edges;
+  report.reservoir_overflows = r.reservoir_overflows;
+  report.used_incremental = r.used_incremental;
+
+  if (config_.misra_gries_enabled) {
+    const sketch::MisraGries& mg = counter_.heavy_hitters();
+    for (const NodeId node : mg.top(config_.mg_top)) {
+      report.heavy_hitters.push_back({node, mg.estimate(node)});
+    }
+  }
+  return report;
+}
+
+EngineCapabilities PimEngine::capabilities() const {
+  EngineCapabilities caps;
+  // Exact as configured: no uniform sampling and no explicit reservoir cap
+  // (a capped sample is approximate by construction once it overflows).
+  // With the bank-derived capacity a huge graph can still overflow at
+  // runtime, which downgrades the individual report's `exact` flag.
+  caps.exact = config_.uniform_p >= 1.0 && config_.sample_capacity_edges == 0;
+  caps.streaming = true;
+  caps.incremental_recount = config_.incremental;
+  caps.simulated_time = true;
+  caps.work_profile = false;
+  return caps;
+}
+
+void PimEngine::reset_timers() { counter_.system().reset_times(); }
+
+}  // namespace pimtc::engine

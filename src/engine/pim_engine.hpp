@@ -1,0 +1,28 @@
+// "pim" backend: the simulated UPMEM pipeline behind the engine interface.
+//
+// A thin adapter over tc::PimTriangleCounter that maps TcResult onto the
+// unified CountReport and surfaces the Misra-Gries summary as report
+// diagnostics.  Constructed through the registry ("pim"); not meant to be
+// instantiated directly outside of it.
+#pragma once
+
+#include "engine/engine.hpp"
+#include "tc/host.hpp"
+
+namespace pimtc::engine {
+
+class PimEngine final : public TriangleCountEngine {
+ public:
+  explicit PimEngine(const EngineConfig& config);
+
+  void add_edges(std::span<const Edge> batch) override;
+  CountReport recount() override;
+  [[nodiscard]] EngineCapabilities capabilities() const override;
+  [[nodiscard]] const char* name() const noexcept override { return "pim"; }
+  void reset_timers() override;
+
+ private:
+  tc::PimTriangleCounter counter_;
+};
+
+}  // namespace pimtc::engine

@@ -1,0 +1,19 @@
+// Engine-level view of the analytic platform models.
+//
+// The comparison drivers (fig6/fig7, dynamic_stream) project a backend's
+// CountReport::work profile onto hardware that does not exist in this
+// environment (dual Xeon 4215, A100).  The models live in baseline/ next to
+// the profiler that calibrates them; this header re-exports them under the
+// engine namespace so drivers program against engine/ headers only.
+#pragma once
+
+#include "baseline/device_model.hpp"
+
+namespace pimtc::engine {
+
+using PlatformModel = baseline::PlatformModel;
+
+using baseline::a100_model;
+using baseline::xeon_4215_model;
+
+}  // namespace pimtc::engine

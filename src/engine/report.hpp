@@ -1,0 +1,99 @@
+// Unified result of one triangle-counting run, shared by every backend.
+//
+// CountReport is the superset of the former tc::TcResult (PIM) and
+// baseline::CpuTcResult: a statistical estimate with exactness flag, a
+// phase-time breakdown, a platform-independent work profile, and the
+// load-balance / sampling diagnostics that the benches and the CLI print.
+// Fields a backend cannot populate stay at their zero defaults; the
+// capability flags on the engine (see engine.hpp) say which groups are
+// meaningful.  See DESIGN.md "Engine architecture".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/work_profile.hpp"
+
+namespace pimtc::engine {
+
+/// Wall-clock of one run split into the paper's phases (Section 4.1).
+/// For the PIM backend the first three fields are *simulated* seconds from
+/// the timing model and `host_s` is measured local host time; for the CPU
+/// backends everything is measured locally (`ingest_s` = structure build /
+/// conversion, `count_s` = counting).  Engines report times accumulated
+/// since construction or the last reset_timers().
+struct PhaseTimes {
+  double setup_s = 0.0;   ///< allocation + program load (PIM only)
+  double ingest_s = 0.0;  ///< sample creation / CSR conversion / batch merge
+  double count_s = 0.0;   ///< the counting kernel itself
+  double host_s = 0.0;    ///< measured host-CPU orchestration time
+
+  [[nodiscard]] double total_s() const noexcept {
+    return setup_s + ingest_s + count_s + host_s;
+  }
+
+  PhaseTimes& operator+=(const PhaseTimes& other) noexcept {
+    setup_s += other.setup_s;
+    ingest_s += other.ingest_s;
+    count_s += other.count_s;
+    host_s += other.host_s;
+    return *this;
+  }
+};
+
+/// Platform-independent operation counts of one run (common/work_profile.hpp);
+/// feeds the analytic platform models for cross-hardware projection.
+using WorkProfile = pimtc::WorkProfile;
+
+/// One entry of the Misra-Gries high-degree summary (paper Section 3.5).
+struct HeavyHitter {
+  NodeId node = kInvalidNode;
+  std::uint64_t estimated_degree = 0;
+};
+
+struct CountReport {
+  /// Registry name of the backend that produced this report.
+  std::string backend;
+
+  /// Statistically corrected triangle estimate (DESIGN.md "Correction
+  /// math").  When `exact` is true this is an integer equal to the true
+  /// count of the streamed graph.
+  double estimate = 0.0;
+
+  /// True when nothing was sampled away (uniform_p == 1 and no reservoir
+  /// overflowed for PIM; always true for the exhaustive CPU backends).
+  bool exact = false;
+
+  /// Sum of raw per-unit counts before any statistical correction.
+  TriangleCount raw_total = 0;
+
+  /// Phase breakdown; `simulated_times` says whether the device phases are
+  /// model-simulated (PIM) or locally measured (CPU).
+  PhaseTimes times;
+  bool simulated_times = false;
+
+  /// Platform-independent work profile (CPU backends; feeds the platform
+  /// models used by the Figure 6/7 projections).
+  WorkProfile work;
+
+  // ---- distribution / load-balance diagnostics ----------------------------
+  std::uint32_t num_units = 0;  ///< PIM cores (or host threads) used
+  std::uint64_t edges_streamed = 0;    ///< edges offered to the session
+  std::uint64_t edges_kept = 0;        ///< survived uniform sampling
+  std::uint64_t edges_replicated = 0;  ///< total sent to units (~C x kept)
+  std::uint64_t min_unit_edges = 0;    ///< load balance: min t_d
+  std::uint64_t max_unit_edges = 0;    ///< load balance: max t_d
+  std::uint64_t reservoir_overflows = 0;  ///< units with t_d > M
+  bool used_incremental = false;  ///< this recount took the incremental path
+
+  /// Misra-Gries top-t summary when the backend ran with it enabled.
+  std::vector<HeavyHitter> heavy_hitters;
+
+  [[nodiscard]] TriangleCount rounded() const noexcept {
+    return estimate <= 0 ? 0 : static_cast<TriangleCount>(estimate + 0.5);
+  }
+};
+
+}  // namespace pimtc::engine

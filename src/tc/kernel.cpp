@@ -985,6 +985,12 @@ void run_count_kernel(pim::Dpu& dpu, const KernelParams& params_in) {
     meta.triangle_count = 0;
     meta.num_regions = 0;
     meta.sorted_size = 0;
+    if (meta.flags & DpuMeta::kFlagPersistSorted) {
+      // An empty persisted arc array is valid: without this flag a core
+      // that received no edges before the first count would reject every
+      // later incremental recount.
+      meta.flags |= DpuMeta::kFlagSortedValid;
+    }
     write_meta(dpu, params, meta);
     return;
   }

@@ -1,11 +1,12 @@
-// Tests for the CPU baseline, the dynamic rebuild driver and the analytic
+// Tests for the CPU baseline, the dynamic rebuild behavior of the "cpu"
+// engine (which absorbed the old DynamicCpuCounter) and the analytic
 // platform models.
 #include <gtest/gtest.h>
 
 #include "baseline/cpu_tc.hpp"
 #include "baseline/device_model.hpp"
-#include "baseline/dynamic_cpu.hpp"
 #include "common/math_util.hpp"
+#include "engine/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/paper_graphs.hpp"
 #include "graph/preprocess.hpp"
@@ -64,22 +65,22 @@ TEST(CpuTcTest, EmptyGraph) {
   EXPECT_EQ(r.triangles, 0u);
 }
 
-// ---- dynamic driver ------------------------------------------------------------
+// ---- dynamic rebuild behavior of the "cpu" engine ---------------------------
 
 TEST(DynamicCpuTest, AccumulatesBatches) {
   graph::EdgeList g = graph::gen::complete(16);
   graph::shuffle_edges(g, 3);
   const auto edges = g.edges();
 
-  DynamicCpuCounter dyn;
+  auto dyn = engine::make_engine("cpu");
   graph::EdgeList acc;
   const std::size_t half = edges.size() / 2;
-  dyn.add_edges(edges.subspan(0, half));
+  dyn->add_edges(edges.subspan(0, half));
   acc.append(edges.subspan(0, half));
-  EXPECT_EQ(dyn.recount().triangles, graph::reference_triangle_count(acc));
+  EXPECT_EQ(dyn->recount().rounded(), graph::reference_triangle_count(acc));
 
-  dyn.add_edges(edges.subspan(half));
-  EXPECT_EQ(dyn.recount().triangles, binomial(16, 3));
+  dyn->add_edges(edges.subspan(half));
+  EXPECT_EQ(dyn->recount().rounded(), binomial(16, 3));
 }
 
 TEST(DynamicCpuTest, RecountPaysFullConversionEveryTime) {
@@ -87,13 +88,13 @@ TEST(DynamicCpuTest, RecountPaysFullConversionEveryTime) {
   // batch — this is the CPU's handicap in Figure 7.
   graph::EdgeList g = graph::gen::erdos_renyi(3000, 30000, 5);
   const auto edges = g.edges();
-  DynamicCpuCounter dyn;
-  dyn.add_edges(edges.subspan(0, 10000));
-  const auto first = dyn.recount().profile.conversion_ops;
-  dyn.add_edges(edges.subspan(10000, 10000));
-  const auto second = dyn.recount().profile.conversion_ops;
-  dyn.add_edges(edges.subspan(20000, 10000));
-  const auto third = dyn.recount().profile.conversion_ops;
+  auto dyn = engine::make_engine("cpu");
+  dyn->add_edges(edges.subspan(0, 10000));
+  const auto first = dyn->recount().work.conversion_ops;
+  dyn->add_edges(edges.subspan(10000, 10000));
+  const auto second = dyn->recount().work.conversion_ops;
+  dyn->add_edges(edges.subspan(20000, 10000));
+  const auto third = dyn->recount().work.conversion_ops;
   EXPECT_GT(second, first);
   EXPECT_GT(third, second);
 }

@@ -2,27 +2,30 @@
 //
 //   pimtc generate --kind=rmat --edges=100000 --out=g.txt [--seed=42]
 //   pimtc stats    --graph=g.txt
-//   pimtc count    --graph=g.txt [--colors=8] [--p=1.0] [--capacity=0]
-//                  [--misra-gries] [--mg-top=32] [--exact-check]
+//   pimtc count    --graph=g.txt [--backend=pim|cpu|cpu-incremental]
+//                  [--colors=8] [--p=1.0] [--capacity=0] [--misra-gries]
+//                  [--mg-top=32] [--incremental] [--json] [--exact-check]
+//   pimtc backends
 //
-// `count` runs the full PIM pipeline (preprocess -> partition -> simulate)
-// and prints the estimate, the phase breakdown and the core-load profile;
-// --exact-check additionally verifies against the reference counter.
+// `count` runs the chosen backend through the engine registry and prints
+// the unified report (estimate, phase breakdown, load profile) as text or,
+// with --json, as a single JSON object; --exact-check runs a second backend
+// over the same stream through the same code path and verifies parity.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 
-#include "baseline/cpu_tc.hpp"
-#include "common/math_util.hpp"
+#include "engine/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/paper_graphs.hpp"
 #include "graph/preprocess.hpp"
-#include "graph/reference_tc.hpp"
 #include "graph/stats.hpp"
-#include "tc/host.hpp"
+#include "graph/reference_tc.hpp"
+#include "common/math_util.hpp"
 
 namespace {
 
@@ -35,9 +38,12 @@ using namespace pimtc;
       "  pimtc generate --kind=<rmat|er|ba|community|road|paper:NAME>\n"
       "                 --edges=<n> --out=<file> [--seed=<s>]\n"
       "  pimtc stats    --graph=<file>\n"
-      "  pimtc count    --graph=<file> [--colors=<C>] [--p=<keep prob>]\n"
-      "                 [--capacity=<edges/core>] [--misra-gries]\n"
-      "                 [--mg-top=<t>] [--incremental] [--exact-check]\n");
+      "  pimtc count    --graph=<file> [--backend=<name>] [--colors=<C>]\n"
+      "                 [--p=<keep prob>] [--capacity=<edges/core>]\n"
+      "                 [--misra-gries] [--mg-top=<t>] [--incremental]\n"
+      "                 [--threads=<n>] [--json] [--exact-check]\n"
+      "                 [--check-backend=<name>]\n"
+      "  pimtc backends\n");
   std::exit(2);
 }
 
@@ -144,13 +150,15 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
-int cmd_count(const Args& args) {
-  const std::string path = args.str("graph");
-  if (path.empty()) usage();
-  graph::EdgeList g = graph::read_coo(path);
-  graph::preprocess(g, static_cast<std::uint64_t>(args.num("seed", 42)));
+int cmd_backends() {
+  for (const std::string& name : engine::registered_backends()) {
+    std::printf("%s\n", name.c_str());
+  }
+  return 0;
+}
 
-  tc::TcConfig cfg;
+engine::EngineConfig config_from_args(const Args& args) {
+  engine::EngineConfig cfg;
   cfg.num_colors = static_cast<std::uint32_t>(args.num("colors", 8));
   cfg.uniform_p = args.num("p", 1.0);
   cfg.sample_capacity_edges =
@@ -158,39 +166,146 @@ int cmd_count(const Args& args) {
   cfg.misra_gries_enabled = args.flag("misra-gries");
   cfg.mg_top = static_cast<std::uint32_t>(args.num("mg-top", 32));
   cfg.incremental = args.flag("incremental");
+  cfg.host_threads = static_cast<std::uint32_t>(args.num("threads", 0));
   cfg.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  return cfg;
+}
 
-  tc::PimTriangleCounter counter(cfg);
-  const tc::TcResult r = counter.count(g);
+/// Outcome of the --exact-check parity run (second backend, same stream).
+struct ParityCheck {
+  bool ran = false;
+  std::string backend;
+  engine::CountReport report;
+  double relative_err = 0.0;
+  /// False only when two backends both claiming exactness disagree.
+  [[nodiscard]] bool mismatch(const engine::CountReport& r) const {
+    return ran && r.exact && report.exact && r.rounded() != report.rounded();
+  }
+};
 
+void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
+                       const ParityCheck& parity) {
+  std::printf(
+      "{\"backend\":\"%s\",\"edges\":%zu,\"nodes\":%u,"
+      "\"estimate\":%.17g,\"rounded\":%llu,\"exact\":%s,"
+      "\"raw_total\":%llu,"
+      "\"times\":{\"setup_s\":%.9g,\"ingest_s\":%.9g,\"count_s\":%.9g,"
+      "\"host_s\":%.9g,\"simulated\":%s},"
+      "\"units\":{\"count\":%u,\"min_edges\":%llu,\"max_edges\":%llu,"
+      "\"reservoir_overflows\":%llu},"
+      "\"stream\":{\"streamed\":%llu,\"kept\":%llu,\"replicated\":%llu,"
+      "\"used_incremental\":%s},"
+      "\"work\":{\"conversion_ops\":%llu,\"intersection_steps\":%llu}",
+      r.backend.c_str(), g.num_edges(), g.num_nodes(), r.estimate,
+      static_cast<unsigned long long>(r.rounded()), r.exact ? "true" : "false",
+      static_cast<unsigned long long>(r.raw_total), r.times.setup_s,
+      r.times.ingest_s, r.times.count_s, r.times.host_s,
+      r.simulated_times ? "true" : "false", r.num_units,
+      static_cast<unsigned long long>(r.min_unit_edges),
+      static_cast<unsigned long long>(r.max_unit_edges),
+      static_cast<unsigned long long>(r.reservoir_overflows),
+      static_cast<unsigned long long>(r.edges_streamed),
+      static_cast<unsigned long long>(r.edges_kept),
+      static_cast<unsigned long long>(r.edges_replicated),
+      r.used_incremental ? "true" : "false",
+      static_cast<unsigned long long>(r.work.conversion_ops),
+      static_cast<unsigned long long>(r.work.intersection_steps));
+  if (!r.heavy_hitters.empty()) {
+    std::printf(",\"heavy_hitters\":[");
+    for (std::size_t i = 0; i < r.heavy_hitters.size(); ++i) {
+      std::printf("%s{\"node\":%u,\"estimated_degree\":%llu}", i ? "," : "",
+                  r.heavy_hitters[i].node,
+                  static_cast<unsigned long long>(
+                      r.heavy_hitters[i].estimated_degree));
+    }
+    std::printf("]");
+  }
+  if (parity.ran) {
+    std::printf(",\"parity\":{\"backend\":\"%s\",\"rounded\":%llu,"
+                "\"exact\":%s,\"relative_error\":%.9g,\"match\":%s}",
+                parity.backend.c_str(),
+                static_cast<unsigned long long>(parity.report.rounded()),
+                parity.report.exact ? "true" : "false", parity.relative_err,
+                parity.mismatch(r) ? "false" : "true");
+  }
+  std::printf("}\n");
+}
+
+void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
   std::printf("graph:      %zu edges / %u nodes\n", g.num_edges(),
               g.num_nodes());
+  std::printf("backend:    %s\n", r.backend.c_str());
   std::printf("estimate:   %.0f (%s)\n", r.estimate,
               r.exact ? "exact" : "approximate");
-  std::printf("cores:      %u (C=%u), load %llu..%llu edges, %llu "
-              "overflowed reservoirs\n",
-              r.num_dpus, cfg.num_colors,
-              static_cast<unsigned long long>(r.min_dpu_edges),
-              static_cast<unsigned long long>(r.max_dpu_edges),
-              static_cast<unsigned long long>(r.reservoir_overflows));
-  std::printf("replicated: %llu edges (C x kept %llu of %llu streamed)\n",
-              static_cast<unsigned long long>(r.edges_replicated),
-              static_cast<unsigned long long>(r.edges_kept),
-              static_cast<unsigned long long>(r.edges_streamed));
-  std::printf("sim time:   setup %.2f ms | sample %.2f ms | count %.2f ms "
+  if (r.num_units > 0) {
+    std::printf("units:      %u, load %llu..%llu edges, %llu overflowed "
+                "reservoirs\n",
+                r.num_units,
+                static_cast<unsigned long long>(r.min_unit_edges),
+                static_cast<unsigned long long>(r.max_unit_edges),
+                static_cast<unsigned long long>(r.reservoir_overflows));
+  }
+  if (r.edges_replicated > 0) {
+    std::printf("replicated: %llu edges (C x kept %llu of %llu streamed)\n",
+                static_cast<unsigned long long>(r.edges_replicated),
+                static_cast<unsigned long long>(r.edges_kept),
+                static_cast<unsigned long long>(r.edges_streamed));
+  }
+  std::printf("%s time:   setup %.2f ms | ingest %.2f ms | count %.2f ms "
               "(+%.2f ms local host)\n",
-              r.times.setup_s * 1e3, r.times.sample_creation_s * 1e3,
-              r.times.count_s * 1e3, r.times.host_s * 1e3);
-
-  if (args.flag("exact-check")) {
-    const TriangleCount truth = graph::reference_triangle_count(g);
-    const double err = relative_error(r.estimate, static_cast<double>(truth));
-    std::printf("reference:  %llu (relative error %.4f%%)\n",
-                static_cast<unsigned long long>(truth), err * 100.0);
-    if (r.exact && r.rounded() != truth) {
-      std::printf("MISMATCH in exact mode — this is a bug\n");
-      return 1;
+              r.simulated_times ? "sim" : "cpu", r.times.setup_s * 1e3,
+              r.times.ingest_s * 1e3, r.times.count_s * 1e3,
+              r.times.host_s * 1e3);
+  if (!r.heavy_hitters.empty()) {
+    std::printf("heavy:      ");
+    for (std::size_t i = 0; i < r.heavy_hitters.size(); ++i) {
+      std::printf("%s%u(deg~%llu)", i ? " " : "", r.heavy_hitters[i].node,
+                  static_cast<unsigned long long>(
+                      r.heavy_hitters[i].estimated_degree));
     }
+    std::printf("\n");
+  }
+}
+
+int cmd_count(const Args& args) {
+  const std::string path = args.str("graph");
+  if (path.empty()) usage();
+  graph::EdgeList g = graph::read_coo(path);
+  graph::preprocess(g, static_cast<std::uint64_t>(args.num("seed", 42)));
+
+  const std::string backend = args.str("backend", "pim");
+  const engine::EngineConfig cfg = config_from_args(args);
+
+  auto eng = engine::make_engine(backend, cfg);
+  const engine::CountReport r = eng->count(g);
+
+  ParityCheck parity;
+  if (args.flag("exact-check")) {
+    // Parity run: a second backend over the same preprocessed graph through
+    // the same engine code path.
+    parity.ran = true;
+    parity.backend =
+        args.str("check-backend", backend == "cpu" ? "pim" : "cpu");
+    parity.report = engine::make_engine(parity.backend, cfg)->count(g);
+    parity.relative_err = relative_error(r.estimate, parity.report.estimate);
+  }
+
+  if (args.flag("json")) {
+    print_report_json(r, g, parity);
+  } else {
+    print_report_text(r, g);
+    if (parity.ran) {
+      std::printf("parity:     %s says %llu (relative error %.4f%%)\n",
+                  parity.backend.c_str(),
+                  static_cast<unsigned long long>(parity.report.rounded()),
+                  parity.relative_err * 100.0);
+    }
+  }
+
+  if (parity.mismatch(r)) {
+    std::fprintf(stderr, "MISMATCH between exact backends %s and %s — a bug\n",
+                 backend.c_str(), parity.backend.c_str());
+    return 1;
   }
   return 0;
 }
@@ -201,8 +316,14 @@ int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
   const Args args(argc, argv, 2);
-  if (cmd == "generate") return cmd_generate(args);
-  if (cmd == "stats") return cmd_stats(args);
-  if (cmd == "count") return cmd_count(args);
+  try {
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "count") return cmd_count(args);
+    if (cmd == "backends") return cmd_backends();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pimtc: %s\n", e.what());
+    return 2;
+  }
   usage();
 }
