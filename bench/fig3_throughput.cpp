@@ -26,8 +26,10 @@ int main(int argc, char** argv) {
     std::string name;
     std::uint64_t max_degree;
     std::size_t edges;
+    double ingest_ms;
     double count_ms;
     double throughput;
+    double wire_pad;  // wire/payload of the rank-parallel pushes
   };
   std::vector<Row> rows;
 
@@ -45,8 +47,13 @@ int main(int argc, char** argv) {
     row.name = graph::paper_graph_info(g).name;
     row.max_degree = deg.max_degree;
     row.edges = list.num_edges();
+    row.ingest_ms = r.times.sample_creation_s * 1e3;
     row.count_ms = r.times.count_s * 1e3;
     row.throughput = static_cast<double>(list.num_edges()) / row.count_ms;
+    row.wire_pad = r.transfers.push_payload_bytes > 0
+                       ? static_cast<double>(r.transfers.push_wire_bytes) /
+                             static_cast<double>(r.transfers.push_payload_bytes)
+                       : 1.0;
     rows.push_back(row);
   }
 
@@ -54,12 +61,13 @@ int main(int argc, char** argv) {
     return a.max_degree < b.max_degree;
   });
 
-  std::printf("%-14s %10s %10s %14s %16s\n", "graph", "maxdeg", "|E|",
-              "count (ms)", "edges/ms");
+  std::printf("%-14s %10s %10s %12s %12s %14s %8s\n", "graph", "maxdeg", "|E|",
+              "ingest (ms)", "count (ms)", "edges/ms", "pad x");
   for (const Row& row : rows) {
-    std::printf("%-14s %10llu %10zu %14.2f %16.1f\n", row.name.c_str(),
+    std::printf("%-14s %10llu %10zu %12.2f %12.2f %14.1f %8.2f\n",
+                row.name.c_str(),
                 static_cast<unsigned long long>(row.max_degree), row.edges,
-                row.count_ms, row.throughput);
+                row.ingest_ms, row.count_ms, row.throughput, row.wire_pad);
   }
 
   // Shape: (a) throughput is (near-)monotone decreasing in max degree;

@@ -54,7 +54,19 @@ struct EngineConfig {
   /// Per-stream WRAM staging buffer, in edges, for the counting kernel.
   std::uint32_t wram_buffer_edges = 64;
 
-  /// Machine model of the simulated UPMEM system.
+  // ---- rank-aware ingestion (PIM backend) ----------------------------------
+  /// Per-DPU host staging-buffer capacity in edges; a batch staging more
+  /// than this for some DPU flushes in multiple bulk scatters (rounds).
+  /// 0 = unbounded: exactly one rank-parallel scatter per batch.
+  std::uint64_t staging_capacity_edges = 0;
+
+  /// Double-buffered ingestion: overlap host partitioning/staging of the
+  /// next batch (or round) with the modeled DPU receive of the previous
+  /// one.  Timing-only; the estimate is bit-identical either way.
+  bool pipelined_ingest = true;
+
+  /// Machine model of the simulated UPMEM system.  `pim.dpus_per_rank`
+  /// shapes the rank topology the transfer model pads over.
   pim::PimSystemConfig pim{};
 
   /// Instruction-cost table used by the simulated kernels.

@@ -38,6 +38,7 @@ CountReport CpuEngine::recount() {
   report.work.triangles = c.profile.triangles;
   report.num_units = static_cast<std::uint32_t>(
       pool_ ? pool_->size() : ThreadPool::global().size());
+  report.host_threads = report.num_units;
   report.edges_streamed = accumulated_.num_edges();
   report.edges_kept = accumulated_.num_edges();
   return report;
@@ -101,6 +102,7 @@ CountReport IncrementalCpuEngine::recount() {
   report.work.intersection_steps = probes_;
   report.work.triangles = total_;
   report.num_units = 1;
+  report.host_threads = 1;  // the adjacency engine is inherently serial
   report.edges_streamed = edges_streamed_;
   report.edges_kept = edges_stored_;
   report.used_incremental = true;

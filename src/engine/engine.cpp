@@ -43,6 +43,16 @@ void EngineConfig::validate() const {
     throw std::invalid_argument(
         "EngineConfig: Misra-Gries needs mg_capacity >= 1 and mg_top >= 1");
   }
+  if (pim.dpus_per_rank == 0) {
+    throw std::invalid_argument(
+        "EngineConfig: pim.dpus_per_rank must be >= 1");
+  }
+  if (pim.dpus_per_rank > pim.max_dpus) {
+    throw std::invalid_argument(
+        "EngineConfig: pim.dpus_per_rank (" +
+        std::to_string(pim.dpus_per_rank) + ") exceeds pim.max_dpus (" +
+        std::to_string(pim.max_dpus) + ")");
+  }
   const std::uint64_t max_cap = tc::MramLayout::max_capacity(pim.mram_bytes);
   if (max_cap == 0) {
     throw std::invalid_argument(
@@ -61,6 +71,8 @@ tc::TcConfig EngineConfig::to_tc_config() const noexcept {
   cfg.mg_capacity = mg_capacity;
   cfg.mg_top = mg_top;
   cfg.wram_buffer_edges = wram_buffer_edges;
+  cfg.staging_capacity_edges = staging_capacity_edges;
+  cfg.pipelined_ingest = pipelined_ingest;
   cfg.incremental = incremental;
   cfg.seed = seed;
   cfg.cost = cost;

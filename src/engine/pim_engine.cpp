@@ -24,6 +24,9 @@ CountReport PimEngine::recount() {
   report.times.host_s = r.times.host_s;
   report.simulated_times = true;
   report.num_units = r.num_dpus;
+  report.num_ranks = r.num_ranks;
+  report.host_threads = counter_.host_threads();
+  report.transfers = r.transfers;
   report.edges_streamed = r.edges_streamed;
   report.edges_kept = r.edges_kept;
   report.edges_replicated = r.edges_replicated;
@@ -55,6 +58,6 @@ EngineCapabilities PimEngine::capabilities() const {
   return caps;
 }
 
-void PimEngine::reset_timers() { counter_.system().reset_times(); }
+void PimEngine::reset_timers() { counter_.reset_timers(); }
 
 }  // namespace pimtc::engine

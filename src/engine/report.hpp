@@ -15,6 +15,7 @@
 
 #include "common/types.hpp"
 #include "common/work_profile.hpp"
+#include "pim/transfer_stats.hpp"
 
 namespace pimtc::engine {
 
@@ -53,6 +54,11 @@ struct HeavyHitter {
   std::uint64_t estimated_degree = 0;
 };
 
+/// Host<->device transfer diagnostics of the rank-aware PIM runtime:
+/// bulk push/pull counts, payload vs padded wire bytes, pipeline overlap.
+/// Zero for backends without a transfer model.
+using TransferBreakdown = pim::TransferStats;
+
 struct CountReport {
   /// Registry name of the backend that produced this report.
   std::string backend;
@@ -78,8 +84,13 @@ struct CountReport {
   /// models used by the Figure 6/7 projections).
   WorkProfile work;
 
+  /// Rank-aware transfer accounting (PIM backend; zeros elsewhere).
+  TransferBreakdown transfers;
+
   // ---- distribution / load-balance diagnostics ----------------------------
   std::uint32_t num_units = 0;  ///< PIM cores (or host threads) used
+  std::uint32_t num_ranks = 0;  ///< UPMEM ranks the allocation spans (PIM)
+  std::uint32_t host_threads = 0;  ///< host CPU threads the backend ran with
   std::uint64_t edges_streamed = 0;    ///< edges offered to the session
   std::uint64_t edges_kept = 0;        ///< survived uniform sampling
   std::uint64_t edges_replicated = 0;  ///< total sent to units (~C x kept)

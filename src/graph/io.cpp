@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -79,9 +80,73 @@ void write_coo_binary(const EdgeList& list, const std::filesystem::path& path) {
   if (!out) fail(path, "write failed");
 }
 
+EdgeList read_coo_mtx(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  std::string line;
+
+  // Banner: "%%MatrixMarket <object> <format> [field] [symmetry]".  Only
+  // sparse matrices make sense as edge lists; a dense "array" file has no
+  // index columns to read.
+  if (!std::getline(in, line)) fail(path, "empty file");
+  {
+    std::istringstream banner(line);
+    std::string tag;
+    std::string object;
+    std::string format;
+    banner >> tag >> object >> format;
+    if (tag != "%%MatrixMarket") fail(path, "missing %%MatrixMarket banner");
+    if (object != "matrix" || format != "coordinate") {
+      fail(path, "only 'matrix coordinate' MatrixMarket files are supported");
+    }
+  }
+
+  // Comments, then the "rows cols nnz" size line.
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  std::uint64_t nnz = 0;
+  for (;;) {
+    if (!std::getline(in, line)) fail(path, "missing size line");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream sizes(line);
+    if (!(sizes >> rows >> cols >> nnz)) {
+      fail(path, "malformed size line (expected 'rows cols nnz')");
+    }
+    if (rows > 0xffffffffull || cols > 0xffffffffull) {
+      fail(path, "matrix dimension > 2^32-1");
+    }
+    break;
+  }
+
+  EdgeList list;
+  list.reserve(nnz);
+  std::uint64_t seen = 0;
+  while (seen < nnz && std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    const char* p = line.c_str();
+    char* end = nullptr;
+    const std::uint64_t i = std::strtoull(p, &end, 10);
+    if (end == p) fail(path, "malformed entry (expected two integers)");
+    p = end;
+    const std::uint64_t j = std::strtoull(p, &end, 10);
+    if (end == p) fail(path, "malformed entry (expected two integers)");
+    // Trailing value column(s) of real/integer/complex fields are ignored.
+    if (i == 0 || j == 0) fail(path, "MatrixMarket indices are 1-based");
+    if (i > rows || j > cols) {
+      fail(path, "entry index exceeds the declared matrix dimensions");
+    }
+    list.push_back(Edge{static_cast<NodeId>(i - 1),
+                        static_cast<NodeId>(j - 1)});
+    ++seen;
+  }
+  if (seen < nnz) fail(path, "fewer entries than the size line promised");
+  return list;
+}
+
 EdgeList read_coo(const std::filesystem::path& path) {
-  return path.extension() == ".bin" ? read_coo_binary(path)
-                                    : read_coo_text(path);
+  if (path.extension() == ".bin") return read_coo_binary(path);
+  if (path.extension() == ".mtx") return read_coo_mtx(path);
+  return read_coo_text(path);
 }
 
 }  // namespace pimtc::graph

@@ -3,7 +3,10 @@
 // Text format: one "u v" pair per line; lines starting with '#' or '%' are
 // comments (SNAP / KONECT conventions).  Binary format: magic "PIMTCCO1",
 // a uint64 edge count, then raw little-endian Edge records — the fast path
-// for benchmark fixtures.
+// for benchmark fixtures.  MatrixMarket (".mtx") coordinate files — the
+// SuiteSparse collection's native format — load directly: the banner and
+// '%' comments are handled, entries are 1-based and converted, and any
+// value column (real/integer/pattern) is ignored.
 #pragma once
 
 #include <filesystem>
@@ -19,7 +22,15 @@ void write_coo_text(const EdgeList& list, const std::filesystem::path& path);
 [[nodiscard]] EdgeList read_coo_binary(const std::filesystem::path& path);
 void write_coo_binary(const EdgeList& list, const std::filesystem::path& path);
 
-/// Dispatches on extension: ".bin" -> binary, anything else -> text.
+/// MatrixMarket coordinate reader (SuiteSparse graphs).  Requires a
+/// "matrix coordinate" banner (object "array" is rejected); accepts any
+/// field (pattern/real/integer/complex) and symmetry tag — each stored
+/// entry becomes one edge, values are discarded, indices shift to 0-based.
+/// Self loops and duplicates are kept (graph::preprocess removes them).
+[[nodiscard]] EdgeList read_coo_mtx(const std::filesystem::path& path);
+
+/// Dispatches on extension: ".bin" -> binary, ".mtx" -> MatrixMarket,
+/// anything else -> text.
 [[nodiscard]] EdgeList read_coo(const std::filesystem::path& path);
 
 }  // namespace pimtc::graph

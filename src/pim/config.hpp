@@ -86,12 +86,25 @@ struct PimSystemConfig {
   [[nodiscard]] double transfer_seconds(std::uint64_t total_bytes,
                                         std::uint32_t dpus_involved,
                                         bool push) const noexcept {
+    return bulk_transfer_seconds(total_bytes,
+                                 ranks_for(dpus_involved == 0 ? 1 : dpus_involved),
+                                 push);
+  }
+
+  /// Wire time of one rank-parallel bulk transfer (dpu_push_xfer /
+  /// dpu_sync_copy shape): `wire_bytes` is the total moved *after* per-rank
+  /// padding to the slowest DPU, `active_ranks` the ranks with a non-empty
+  /// payload.  Each active rank contributes its bandwidth share up to the
+  /// aggregate cap; a transfer touching no rank still pays the software
+  /// latency (driver call + rank programming).
+  [[nodiscard]] double bulk_transfer_seconds(std::uint64_t wire_bytes,
+                                             std::uint32_t active_ranks,
+                                             bool push) const noexcept {
+    if (active_ranks == 0 || wire_bytes == 0) return host_xfer_latency_s;
     const double cap = (push ? host_push_gb_s : host_pull_gb_s) * 1e9;
-    const double ranks = ranks_for(dpus_involved == 0 ? 1 : dpus_involved);
-    const double bw = ranks * host_per_rank_gb_s * 1e9 < cap
-                          ? ranks * host_per_rank_gb_s * 1e9
-                          : cap;
-    return host_xfer_latency_s + static_cast<double>(total_bytes) / bw;
+    const double share = active_ranks * host_per_rank_gb_s * 1e9;
+    const double bw = share < cap ? share : cap;
+    return host_xfer_latency_s + static_cast<double>(wire_bytes) / bw;
   }
 
   /// Setup-phase model: allocation + program load for `dpus` DPUs.

@@ -12,6 +12,7 @@ void MramBank::write(std::uint64_t offset, const void* src, std::size_t bytes) {
                          std::to_string(offset + bytes) +
                          " exceeds capacity " + std::to_string(capacity_));
   }
+  ++write_calls_;
   const auto* s = static_cast<const std::uint8_t*>(src);
   std::uint64_t pos = offset;
   std::size_t remaining = bytes;
@@ -37,6 +38,7 @@ void MramBank::read(std::uint64_t offset, void* dst, std::size_t bytes) const {
   if (offset + bytes > capacity_) {
     throw PimMemoryError("MRAM bank read past capacity");
   }
+  ++read_calls_;
   auto* d = static_cast<std::uint8_t*>(dst);
   std::uint64_t pos = offset;
   std::size_t remaining = bytes;
@@ -46,12 +48,12 @@ void MramBank::read(std::uint64_t offset, void* dst, std::size_t bytes) const {
     const std::size_t chunk = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, kPageBytes - in_page));
     const auto& page = pages_[page_idx];
-    if (!page) {
-      throw PimMemoryError(
-          "MRAM bank read of uninitialized region at offset " +
-          std::to_string(pos));
+    if (page) {
+      std::memcpy(d, page->data + in_page, chunk);
+    } else {
+      // Never-written page: deterministic zeros, no allocation side effect.
+      std::memset(d, 0, chunk);
     }
-    std::memcpy(d, page->data + in_page, chunk);
     d += chunk;
     pos += chunk;
     remaining -= chunk;

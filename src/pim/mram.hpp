@@ -5,7 +5,10 @@
 // Section 3.3).  Storage is paged (64 KB pages allocated on first write) so
 // simulating thousands of DPUs costs memory proportional to the bytes
 // actually touched, even when data structures sit at capacity-derived
-// offsets deep inside the bank.
+// offsets deep inside the bank.  Reads of never-written pages return zeros
+// deterministically (like DRAM after a reset) without allocating the page.
+// Access-call counters let tests and benches verify that hot paths batch
+// their traffic instead of issuing per-record operations.
 #pragma once
 
 #include <cstddef>
@@ -39,7 +42,18 @@ class MramBank {
     return resident_pages_ * kPageBytes;
   }
 
+  /// Lifetime access-call tallies (one per write()/read() invocation,
+  /// regardless of size) — the observable difference between per-record
+  /// loops and bulk transfers.
+  [[nodiscard]] std::uint64_t write_calls() const noexcept {
+    return write_calls_;
+  }
+  [[nodiscard]] std::uint64_t read_calls() const noexcept {
+    return read_calls_;
+  }
+
   void write(std::uint64_t offset, const void* src, std::size_t bytes);
+  /// Reads `bytes` at `offset`; spans of never-written pages read as zeros.
   void read(std::uint64_t offset, void* dst, std::size_t bytes) const;
 
   /// Typed helpers for single records.
@@ -73,6 +87,8 @@ class MramBank {
   std::vector<std::unique_ptr<Page>> pages_;
   std::uint64_t resident_pages_ = 0;
   std::uint64_t high_water_ = 0;
+  std::uint64_t write_calls_ = 0;
+  mutable std::uint64_t read_calls_ = 0;
 };
 
 }  // namespace pimtc::pim

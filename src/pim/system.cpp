@@ -1,9 +1,10 @@
 #include "pim/system.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
 #include <string>
+
+#include "common/math_util.hpp"
 
 namespace pimtc::pim {
 
@@ -12,6 +13,9 @@ PimSystem::PimSystem(const PimSystemConfig& config, std::uint32_t num_dpus,
     : config_(config), pool_(pool ? pool : &ThreadPool::global()) {
   if (num_dpus == 0) {
     throw std::invalid_argument("PimSystem: need at least one DPU");
+  }
+  if (config_.dpus_per_rank == 0) {
+    throw std::invalid_argument("PimSystem: dpus_per_rank must be >= 1");
   }
   if (num_dpus > config.max_dpus) {
     throw std::invalid_argument(
@@ -25,18 +29,82 @@ PimSystem::PimSystem(const PimSystemConfig& config, std::uint32_t num_dpus,
   times_.setup_s += config_.setup_seconds(num_dpus);
 }
 
-void PimSystem::charge_push(std::uint64_t total_bytes,
-                            std::uint32_t dpus_involved,
-                            double PimPhaseTimes::* phase) {
-  times_.*phase +=
-      config_.transfer_seconds(total_bytes, dpus_involved, /*push=*/true);
+double PimSystem::charge_bulk(std::span<const std::uint64_t> per_dpu_bytes,
+                              bool push, double PimPhaseTimes::* phase) {
+  if (per_dpu_bytes.size() != num_dpus()) {
+    throw std::invalid_argument(
+        "PimSystem: bulk transfer needs one span per DPU (got " +
+        std::to_string(per_dpu_bytes.size()) + " for " +
+        std::to_string(num_dpus()) + " DPUs)");
+  }
+  // Rank-parallel engine shape: within each rank every DPU's slot is padded
+  // to the largest (8-byte aligned) span of that rank; ranks with no payload
+  // stay idle and contribute no bandwidth share.
+  std::uint64_t payload = 0;
+  std::uint64_t wire = 0;
+  std::uint32_t active_ranks = 0;
+  const std::uint32_t n = num_dpus();
+  for (std::uint32_t lo = 0; lo < n; lo += config_.dpus_per_rank) {
+    const std::uint32_t hi = std::min(n, lo + config_.dpus_per_rank);
+    std::uint64_t rank_max = 0;
+    for (std::uint32_t d = lo; d < hi; ++d) {
+      payload += per_dpu_bytes[d];
+      rank_max = std::max(
+          rank_max, round_up(per_dpu_bytes[d], config_.dma_alignment_bytes));
+    }
+    if (rank_max > 0) {
+      ++active_ranks;
+      wire += rank_max * (hi - lo);
+    }
+  }
+  if (payload == 0) return 0.0;  // nothing staged anywhere: no driver call
+
+  const double seconds =
+      config_.bulk_transfer_seconds(wire, active_ranks, push);
+  TransferStats& s = stats_;
+  if (push) {
+    ++s.push_transfers;
+    s.push_payload_bytes += payload;
+    s.push_wire_bytes += wire;
+  } else {
+    ++s.pull_transfers;
+    s.pull_payload_bytes += payload;
+    s.pull_wire_bytes += wire;
+  }
+  if (phase != nullptr) times_.*phase += seconds;
+  return seconds;
 }
 
-void PimSystem::charge_pull(std::uint64_t total_bytes,
-                            std::uint32_t dpus_involved,
-                            double PimPhaseTimes::* phase) {
-  times_.*phase +=
-      config_.transfer_seconds(total_bytes, dpus_involved, /*push=*/false);
+double PimSystem::scatter(std::span<const ScatterSpan> spans,
+                          double PimPhaseTimes::* phase) {
+  if (spans.size() != num_dpus()) {
+    throw std::invalid_argument("PimSystem::scatter: one span per DPU");
+  }
+  std::vector<std::uint64_t> bytes(spans.size());
+  for (std::size_t d = 0; d < spans.size(); ++d) {
+    bytes[d] = spans[d].bytes;
+    if (spans[d].bytes > 0) {
+      dpus_[d]->mram().write(spans[d].mram_offset, spans[d].src,
+                             static_cast<std::size_t>(spans[d].bytes));
+    }
+  }
+  return charge_scatter(bytes, phase);
+}
+
+double PimSystem::gather(std::span<const GatherSpan> spans,
+                         double PimPhaseTimes::* phase) {
+  if (spans.size() != num_dpus()) {
+    throw std::invalid_argument("PimSystem::gather: one span per DPU");
+  }
+  std::vector<std::uint64_t> bytes(spans.size());
+  for (std::size_t d = 0; d < spans.size(); ++d) {
+    bytes[d] = spans[d].bytes;
+    if (spans[d].bytes > 0) {
+      dpus_[d]->mram().read(spans[d].mram_offset, spans[d].dst,
+                            static_cast<std::size_t>(spans[d].bytes));
+    }
+  }
+  return charge_gather(bytes, phase);
 }
 
 void PimSystem::charge_host(double seconds, double PimPhaseTimes::* phase) {

@@ -11,6 +11,14 @@
 //   Sample creation — batched host->MRAM edge transfers + DPU-side receive,
 //   Triangle count  — kernel execution + result gather.
 //
+// The machine is organized as *ranks* of `dpus_per_rank` DPUs.  A bulk
+// transfer (scatter/gather) moves one byte span per DPU in a single modeled
+// operation, the way dpu_push_xfer does: within each rank every DPU's slot
+// is padded to the slowest (largest) span — the rank-parallel engine moves
+// the same number of bytes to every DPU of a rank — and ranks transfer in
+// parallel subject to the per-rank / aggregate bandwidth caps.  The
+// payload-vs-wire gap from that padding is tracked in TransferStats.
+//
 // Functional execution of the per-DPU kernels is parallelized across host
 // threads; simulated kernel time is the max over DPUs, matching a real
 // launch that waits for the slowest DPU.
@@ -19,11 +27,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "pim/config.hpp"
 #include "pim/dpu.hpp"
+#include "pim/transfer_stats.hpp"
 
 namespace pimtc::pim {
 
@@ -51,6 +61,23 @@ struct PimPhaseTimes {
   }
 };
 
+/// One DPU's slice of a bulk scatter: `bytes` copied from `src` into that
+/// DPU's MRAM at `mram_offset`.  `bytes == 0` means the DPU sits the
+/// transfer out (its rank slot still gets padded if a peer transfers).
+struct ScatterSpan {
+  std::uint64_t mram_offset = 0;
+  const void* src = nullptr;
+  std::uint64_t bytes = 0;
+};
+
+/// One DPU's slice of a bulk gather: `bytes` copied from that DPU's MRAM at
+/// `mram_offset` into `dst`.
+struct GatherSpan {
+  std::uint64_t mram_offset = 0;
+  void* dst = nullptr;
+  std::uint64_t bytes = 0;
+};
+
 class PimSystem {
  public:
   /// Allocates `num_dpus` DPUs (throws if the machine has fewer) and charges
@@ -69,14 +96,52 @@ class PimSystem {
     return config_;
   }
 
-  /// Charges one rank-parallel push of `total_bytes` spread over
-  /// `dpus_involved` DPUs to the given phase.  (The functional payload
-  /// delivery is done by the caller through dpu(i).mram() or the receive
-  /// hook — the system only owns the timing.)
-  void charge_push(std::uint64_t total_bytes, std::uint32_t dpus_involved,
-                   double PimPhaseTimes::* phase);
-  void charge_pull(std::uint64_t total_bytes, std::uint32_t dpus_involved,
-                   double PimPhaseTimes::* phase);
+  // ---- rank topology --------------------------------------------------------
+  [[nodiscard]] std::uint32_t dpus_per_rank() const noexcept {
+    return config_.dpus_per_rank;
+  }
+  [[nodiscard]] std::uint32_t num_ranks() const noexcept {
+    return config_.ranks_for(num_dpus());
+  }
+  [[nodiscard]] std::uint32_t rank_of(std::uint32_t dpu) const noexcept {
+    return dpu / config_.dpus_per_rank;
+  }
+
+  // ---- bulk transfers -------------------------------------------------------
+  /// Moves one span per DPU (spans.size() == num_dpus()) host->MRAM in a
+  /// single modeled rank-parallel transfer and returns the modeled seconds.
+  /// When `phase` is non-null the time is charged to it; a null `phase`
+  /// only records TransferStats and leaves charging to the caller (the
+  /// pipelined ingest path overlaps this time with host work).
+  double scatter(std::span<const ScatterSpan> spans,
+                 double PimPhaseTimes::* phase);
+
+  /// MRAM->host counterpart of scatter().
+  double gather(std::span<const GatherSpan> spans,
+                double PimPhaseTimes::* phase);
+
+  /// Timing/accounting core of scatter()/gather() for callers that deliver
+  /// the payload themselves (e.g. coalesced reservoir writes): models one
+  /// bulk transfer of `per_dpu_bytes[i]` payload to/from DPU i with
+  /// per-rank slowest-DPU padding.  Returns the modeled seconds; `phase`
+  /// semantics as in scatter().
+  double charge_scatter(std::span<const std::uint64_t> per_dpu_bytes,
+                        double PimPhaseTimes::* phase) {
+    return charge_bulk(per_dpu_bytes, /*push=*/true, phase);
+  }
+  double charge_gather(std::span<const std::uint64_t> per_dpu_bytes,
+                       double PimPhaseTimes::* phase) {
+    return charge_bulk(per_dpu_bytes, /*push=*/false, phase);
+  }
+
+  /// Records device seconds the pipelined ingest hid under host work.
+  void note_overlap_saved(double seconds) noexcept {
+    stats_.overlap_saved_s += seconds;
+  }
+
+  [[nodiscard]] const TransferStats& transfer_stats() const noexcept {
+    return stats_;
+  }
 
   /// Adds host-measured seconds (file reading, batch building, ...) to a
   /// phase.
@@ -93,16 +158,25 @@ class PimSystem {
                  double PimPhaseTimes::* phase);
 
   [[nodiscard]] const PimPhaseTimes& times() const noexcept { return times_; }
-  void reset_times() noexcept { times_ = {}; }
+  /// Zeroes the phase times *and* the transfer diagnostics (both are
+  /// "accumulated since the last reset" views of the same run).
+  void reset_times() noexcept {
+    times_ = {};
+    stats_ = {};
+  }
 
   /// Sum of MRAM high-water marks — how much DRAM-bank memory the run used.
   [[nodiscard]] std::uint64_t total_mram_high_water() const noexcept;
 
  private:
+  double charge_bulk(std::span<const std::uint64_t> per_dpu_bytes, bool push,
+                     double PimPhaseTimes::* phase);
+
   PimSystemConfig config_;
   std::vector<std::unique_ptr<Dpu>> dpus_;
   ThreadPool* pool_;
   PimPhaseTimes times_;
+  TransferStats stats_;
 };
 
 }  // namespace pimtc::pim

@@ -1,0 +1,25 @@
+// Host<->MRAM transfer diagnostics accumulated by the rank-aware runtime.
+//
+// Split into its own header so the engine-layer report can embed the struct
+// without pulling in the full PimSystem (DPUs, thread pool, ...).
+#pragma once
+
+#include <cstdint>
+
+namespace pimtc::pim {
+
+/// `payload` is what callers asked to move, `wire` what the rank-parallel
+/// engine actually moved after padding each rank to its slowest DPU (the
+/// dpu_push_xfer shape); `overlap_saved_s` is modeled device time hidden
+/// under host work by the pipelined ingestion (see tc::PimTriangleCounter).
+struct TransferStats {
+  std::uint64_t push_transfers = 0;
+  std::uint64_t push_payload_bytes = 0;
+  std::uint64_t push_wire_bytes = 0;
+  std::uint64_t pull_transfers = 0;
+  std::uint64_t pull_payload_bytes = 0;
+  std::uint64_t pull_wire_bytes = 0;
+  double overlap_saved_s = 0.0;
+};
+
+}  // namespace pimtc::pim

@@ -8,8 +8,11 @@
 // composes the two for host-side use and tests.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/prng.hpp"
@@ -58,6 +61,100 @@ class ReservoirPolicy {
   std::uint64_t capacity_;
   std::uint64_t seen_ = 0;
   Xoshiro256ss rng_;
+};
+
+/// Batched reservoir ingestion: the host computes the decisions for a whole
+/// batch up front and materializes them into a compact staging image that a
+/// single bulk transfer can flush to the device.  Appends coalesce into one
+/// contiguous run starting at `base_slot()`; replacements fold to their
+/// final value (last offer to a slot wins, including a replacement landing
+/// on an item appended earlier in the same batch, which is rewritten in the
+/// staging image instead of becoming a second device write).
+///
+/// The object is intended to live as long as its reservoir and be reused
+/// across batches — begin() clears content but keeps every allocation
+/// (vectors, hash buckets, run scratch), so steady-state staging performs
+/// no heap traffic.
+template <typename T>
+class ReservoirStaging {
+ public:
+  /// Starts a new batch.  `base_slot` is the next free append slot, i.e.
+  /// the owning policy's stored() before the first offer of this batch.
+  void begin(std::uint64_t base_slot) {
+    base_slot_ = base_slot;
+    appends_.clear();
+    replaces_.clear();
+    replace_index_.clear();
+  }
+
+  /// Offers `item` to `policy` and stages the resulting decision.
+  void stage(ReservoirPolicy& policy, const T& item) {
+    const ReservoirDecision d = policy.offer();
+    switch (d.action) {
+      case ReservoirDecision::Action::kAppend:
+        appends_.push_back(item);
+        break;
+      case ReservoirDecision::Action::kReplace:
+        if (d.slot >= base_slot_ &&
+            d.slot - base_slot_ < appends_.size()) {
+          appends_[static_cast<std::size_t>(d.slot - base_slot_)] = item;
+        } else {
+          const auto [it, inserted] =
+              replace_index_.try_emplace(d.slot, replaces_.size());
+          if (inserted) {
+            replaces_.emplace_back(d.slot, item);
+          } else {
+            replaces_[it->second].second = item;
+          }
+        }
+        break;
+      case ReservoirDecision::Action::kDiscard:
+        break;
+    }
+  }
+
+  [[nodiscard]] std::uint64_t base_slot() const noexcept { return base_slot_; }
+  [[nodiscard]] const std::vector<T>& appends() const noexcept {
+    return appends_;
+  }
+  [[nodiscard]] std::uint64_t replace_count() const noexcept {
+    return replaces_.size();
+  }
+  /// Items materialized in the image (appends + folded replacements).
+  [[nodiscard]] std::uint64_t staged_items() const noexcept {
+    return appends_.size() + replaces_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return appends_.empty() && replaces_.empty();
+  }
+
+  /// Invokes fn(first_slot, items_ptr, count) once per maximal run of
+  /// consecutive replaced slots (final values).  Sorts the staged
+  /// replacements; call once per batch, after staging is complete.
+  template <typename Fn>
+  void for_each_replace_run(Fn&& fn) {
+    std::sort(replaces_.begin(), replaces_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t i = 0;
+    while (i < replaces_.size()) {
+      run_scratch_.clear();
+      const std::uint64_t first = replaces_[i].first;
+      std::uint64_t expected = first;
+      while (i < replaces_.size() && replaces_[i].first == expected) {
+        run_scratch_.push_back(replaces_[i].second);
+        ++expected;
+        ++i;
+      }
+      fn(first, run_scratch_.data(), run_scratch_.size());
+    }
+  }
+
+ private:
+  std::uint64_t base_slot_ = 0;
+  std::vector<T> appends_;
+  std::vector<std::pair<std::uint64_t, T>> replaces_;
+  std::unordered_map<std::uint64_t, std::size_t> replace_index_;
+  std::vector<T> run_scratch_;
 };
 
 /// Host-side reservoir over arbitrary items.

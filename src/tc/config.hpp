@@ -46,6 +46,16 @@ struct TcConfig {
   /// Seed for every randomized component (coloring hash, samplers).
   std::uint64_t seed = 42;
 
+  /// Per-DPU staging-buffer capacity, in edges, for batched ingestion.  A
+  /// batch that stages more than this for some DPU is flushed in multiple
+  /// bulk scatters (rounds); 0 = unbounded, i.e. one scatter per batch.
+  std::uint64_t staging_capacity_edges = 0;
+
+  /// Double-buffered ingestion: overlap host partitioning/staging of the
+  /// next batch (or round) with the modeled DPU receive of the previous
+  /// one.  Timing-only — the estimate is bit-identical either way.
+  bool pipelined_ingest = true;
+
   /// Instruction-cost table used by the simulated kernels.
   pim::KernelCostModel cost{};
 };

@@ -12,6 +12,14 @@
 #include "tc/layout.hpp"
 
 namespace pimtc::tc {
+namespace {
+
+/// Wire size of one staged replacement record (slot index + edge); appends
+/// travel as bare edges since their slots are implied by the base slot.
+constexpr std::uint64_t kStagedReplaceBytes =
+    sizeof(std::uint64_t) + sizeof(Edge);
+
+}  // namespace
 
 PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
                                        const pim::PimSystemConfig& pim_config)
@@ -56,6 +64,15 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
     meta.sample_capacity = capacity_;
     system_->dpu(d).mram().write_t(MramLayout::kMetaOffset, meta);
   }
+
+  // Persistent ingestion state: sized once, reused by every batch.
+  partition_.resize(pool_->size());
+  for (auto& per_dpu : partition_) per_dpu.resize(dpus);
+  staging_.resize(dpus);
+  cursors_.resize(dpus);
+  flush_bytes_.resize(dpus);
+  cycles_before_.resize(dpus);
+  received_.resize(dpus);
 }
 
 TcResult PimTriangleCounter::count(const graph::EdgeList& graph) {
@@ -65,14 +82,15 @@ TcResult PimTriangleCounter::count(const graph::EdgeList& graph) {
 
 void PimTriangleCounter::add_edges(std::span<const Edge> batch) {
   WallTimer host_timer;
-  const std::uint32_t num_dpus = system_->num_dpus();
   const std::size_t num_threads = pool_->size();
   const std::uint64_t batch_id = batch_counter_++;
 
-  // Per-thread, per-DPU edge batches — "each host CPU thread manages an
-  // array of edges per PIM core" (Section 3.1).
-  std::vector<std::vector<std::vector<Edge>>> local(num_threads);
-  for (auto& per_dpu : local) per_dpu.resize(num_dpus);
+  // Per-thread, per-DPU partition buffers — "each host CPU thread manages an
+  // array of edges per PIM core" (Section 3.1).  The buffers are members:
+  // clear() keeps their capacity, so steady-state batches allocate nothing.
+  for (auto& per_dpu : partition_) {
+    for (auto& v : per_dpu) v.clear();
+  }
   std::vector<sketch::MisraGries> local_mg;
   std::vector<std::uint64_t> local_kept(num_threads, 0);
   local_mg.reserve(num_threads);
@@ -86,7 +104,7 @@ void PimTriangleCounter::add_edges(std::span<const Edge> batch) {
         sketch::UniformSampler sampler(
             config_.uniform_p,
             derive_seed(config_.seed, (batch_id << 8) ^ (0xa000 + t)));
-        auto& batches = local[t];
+        auto& batches = partition_[t];
         auto& mg = local_mg[t];
         for (std::size_t i = lo; i < hi; ++i) {
           const Edge e = batch[i];
@@ -106,88 +124,147 @@ void PimTriangleCounter::add_edges(std::span<const Edge> batch) {
     for (const auto& mg : local_mg) global_mg_.merge(mg);
   }
 
-  insert_into_samples(local);
+  insert_into_samples(host_timer.elapsed_s());
 
   system_->charge_host(host_timer.elapsed_s(), &pim::PimPhaseTimes::host_s);
 }
 
-void PimTriangleCounter::insert_into_samples(
-    const std::vector<std::vector<std::vector<Edge>>>& thread_batches) {
+void PimTriangleCounter::drain_in_flight(double host_overlap_s) {
+  if (in_flight_device_s_ <= 0.0) return;
+  const double hidden =
+      config_.pipelined_ingest
+          ? std::min(in_flight_device_s_, std::max(0.0, host_overlap_s))
+          : 0.0;
+  if (hidden > 0.0) system_->note_overlap_saved(hidden);
+  system_->charge_host(in_flight_device_s_ - hidden,
+                       &pim::PimPhaseTimes::sample_creation_s);
+  in_flight_device_s_ = 0.0;
+}
+
+void PimTriangleCounter::insert_into_samples(double host_window_s) {
   const std::uint32_t num_dpus = system_->num_dpus();
   const std::uint32_t recv_tasklets = config_.tasklets;
+  const std::uint64_t sample_base = MramLayout::sample_offset();
 
-  std::vector<double> cycles_before(num_dpus);
+  // How many staging rounds does the slowest DPU need?
+  std::uint64_t max_per_dpu = 0;
   for (std::uint32_t d = 0; d < num_dpus; ++d) {
-    cycles_before[d] = system_->dpu(d).cycles();
+    std::uint64_t total = 0;
+    for (const auto& per_dpu : partition_) total += per_dpu[d].size();
+    max_per_dpu = std::max(max_per_dpu, total);
+    cursors_[d] = {0, 0};
   }
+  if (max_per_dpu == 0) {
+    // Nothing survived sampling: no scatter, but the host work just done
+    // still overlaps any in-flight receive of the previous batch.
+    drain_in_flight(host_window_s);
+    return;
+  }
+  const std::uint64_t round_cap = config_.staging_capacity_edges == 0
+                                      ? max_per_dpu
+                                      : config_.staging_capacity_edges;
+  const std::uint64_t rounds = ceil_div(max_per_dpu, round_cap);
 
-  std::vector<std::uint64_t> pushed_per_dpu(num_dpus, 0);
+  std::fill(received_.begin(), received_.end(), 0);
 
-  pool_->parallel_for(num_dpus, [&](std::size_t d) {
-    pim::Dpu& dpu = system_->dpu(d);
-    sketch::ReservoirPolicy& reservoir = reservoirs_[d];
-    const std::uint64_t sample_base = MramLayout::sample_offset();
-
-    std::uint64_t received = 0;
-    std::uint64_t appended_bytes = 0;
-    std::uint64_t replaced = 0;
-
-    for (const auto& per_dpu : thread_batches) {
-      for (const Edge& e : per_dpu[d]) {
-        ++received;
-        const auto decision = reservoir.offer();
-        switch (decision.action) {
-          case sketch::ReservoirDecision::Action::kAppend:
-            dpu.mram().write_t(sample_base + decision.slot * sizeof(Edge), e);
-            appended_bytes += sizeof(Edge);
-            break;
-          case sketch::ReservoirDecision::Action::kReplace:
-            dpu.mram().write_t(sample_base + decision.slot * sizeof(Edge), e);
-            ++replaced;
-            break;
-          case sketch::ReservoirDecision::Action::kDiscard:
-            break;
-        }
-      }
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    WallTimer stage_timer;
+    for (std::uint32_t d = 0; d < num_dpus; ++d) {
+      cycles_before_[d] = system_->dpu(d).cycles();
     }
 
-    // Receive-path cost: stream the staged batch in, one reservoir decision
-    // per edge (tasklet-parallel), contiguous appends as bulk DMA, random
-    // replacements as 8-byte writes.
-    dpu.charge_dma_bulk(received * sizeof(Edge), 2048);  // staging read
-    dpu.charge_parallel_instr(received * config_.cost.reservoir_offer,
-                              recv_tasklets);
-    dpu.charge_dma_bulk(appended_bytes, 2048);
-    for (std::uint64_t r = 0; r < replaced; ++r) dpu.serial_dma(sizeof(Edge));
+    pool_->parallel_for(num_dpus, [&](std::size_t d) {
+      pim::Dpu& dpu = system_->dpu(d);
+      sketch::ReservoirPolicy& reservoir = reservoirs_[d];
+      sketch::ReservoirStaging<Edge>& staging = staging_[d];
+      auto& [thread_idx, offset] = cursors_[d];
 
-    pushed_per_dpu[d] = received * sizeof(Edge);
-  });
+      // Stage up to round_cap reservoir decisions host-side.
+      staging.begin(reservoir.stored());
+      std::uint64_t budget = round_cap;
+      while (budget > 0 && thread_idx < partition_.size()) {
+        const auto& src = partition_[thread_idx][d];
+        while (offset < src.size() && budget > 0) {
+          staging.stage(reservoir, src[offset]);
+          ++offset;
+          --budget;
+          ++received_[d];
+        }
+        if (offset == src.size()) {
+          ++thread_idx;
+          offset = 0;
+        }
+      }
 
-  std::uint64_t total_bytes = 0;
-  std::uint64_t replicated = 0;
+      // Flush the image: one contiguous write for the append run, one per
+      // maximal run of consecutive replaced slots — bulk traffic, not
+      // per-edge stores.
+      const std::uint64_t append_bytes =
+          staging.appends().size() * sizeof(Edge);
+      if (append_bytes > 0) {
+        dpu.mram().write(sample_base + staging.base_slot() * sizeof(Edge),
+                         staging.appends().data(),
+                         static_cast<std::size_t>(append_bytes));
+      }
+      const std::uint64_t staged_bytes =
+          append_bytes + staging.replace_count() * kStagedReplaceBytes;
+
+      // DPU-side receive cost: stream the staged image in, copy each record
+      // into place (tasklet-parallel; the decisions were made host-side),
+      // contiguous appends as one bulk burst, replacement runs as scattered
+      // DMA stores.
+      dpu.charge_dma_bulk(staged_bytes, 2048);  // landing-zone read
+      dpu.charge_parallel_instr(
+          staging.staged_items() * config_.cost.edge_copy, recv_tasklets);
+      dpu.charge_dma_bulk(append_bytes, 2048);
+      staging.for_each_replace_run(
+          [&](std::uint64_t first_slot, const Edge* items, std::size_t n) {
+            const std::uint64_t bytes = n * sizeof(Edge);
+            dpu.mram().write(sample_base + first_slot * sizeof(Edge), items,
+                             static_cast<std::size_t>(bytes));
+            dpu.serial_dma(bytes);
+          });
+
+      flush_bytes_[d] = staged_bytes;
+    });
+
+    // The host work of this staging round (plus, for the first round, the
+    // partitioning that preceded it) is the window that hides the previous
+    // flush's in-flight device time.
+    const double window =
+        (round == 0 ? host_window_s : 0.0) + stage_timer.elapsed_s();
+    drain_in_flight(window);
+
+    // Model this round's device time: one rank-parallel scatter of the
+    // per-DPU staged images, then the DPU-side receive (slowest core gates).
+    const double xfer_s = system_->charge_scatter(
+        flush_bytes_, config_.pipelined_ingest
+                          ? nullptr
+                          : &pim::PimPhaseTimes::sample_creation_s);
+    double max_delta = 0.0;
+    for (std::uint32_t d = 0; d < num_dpus; ++d) {
+      max_delta =
+          std::max(max_delta, system_->dpu(d).cycles() - cycles_before_[d]);
+    }
+    const double receive_s = pim_config_.cycles_to_seconds(max_delta);
+    if (config_.pipelined_ingest) {
+      in_flight_device_s_ = xfer_s + receive_s;
+    } else {
+      system_->charge_host(receive_s, &pim::PimPhaseTimes::sample_creation_s);
+    }
+  }
+
   for (std::uint32_t d = 0; d < num_dpus; ++d) {
-    total_bytes += pushed_per_dpu[d];
-    replicated += pushed_per_dpu[d] / sizeof(Edge);
+    edges_replicated_ += received_[d];
   }
-  edges_replicated_ += replicated;
-
-  // Host -> MRAM transfer of the batches (rank-parallel push).
-  if (total_bytes > 0) {
-    system_->charge_push(total_bytes, num_dpus,
-                         &pim::PimPhaseTimes::sample_creation_s);
-  }
-
-  // DPU-side receive time: the slowest core gates the phase.
-  double max_delta = 0.0;
-  for (std::uint32_t d = 0; d < num_dpus; ++d) {
-    max_delta =
-        std::max(max_delta, system_->dpu(d).cycles() - cycles_before[d]);
-  }
-  system_->charge_host(pim_config_.cycles_to_seconds(max_delta),
-                       &pim::PimPhaseTimes::sample_creation_s);
 }
 
 TcResult PimTriangleCounter::recount() {
+  // Sync point: an in-flight batch receive must land before the kernel can
+  // run, and the count depends on it — nothing left to hide it under, so
+  // any remainder is charged in full.
+  drain_in_flight(0.0);
+
   const std::uint32_t num_dpus = system_->num_dpus();
 
   // Can this recount take the incremental path?  Requires a prior full
@@ -227,9 +304,11 @@ TcResult PimTriangleCounter::recount() {
                        remap.size() * sizeof(NodeId));
     }
   }
-  system_->charge_push(
-      num_dpus * (sizeof(DpuMeta) + remap.size() * sizeof(NodeId)), num_dpus,
-      &pim::PimPhaseTimes::count_s);
+
+  // Control-block + remap broadcast push (uniform spans: no padding).
+  const std::vector<std::uint64_t> meta_bytes(
+      num_dpus, sizeof(DpuMeta) + remap.size() * sizeof(NodeId));
+  system_->charge_scatter(meta_bytes, &pim::PimPhaseTimes::count_s);
 
   // Launch the counting kernel on every core.
   KernelParams params;
@@ -247,17 +326,18 @@ TcResult PimTriangleCounter::recount() {
     sorted_valid_ = config_.incremental && !overflowed;
   }
 
-  // Gather per-core results.
+  // Gather per-core results in one rank-parallel pull.
   std::vector<DpuMeta> metas(num_dpus);
+  std::vector<pim::GatherSpan> gather_spans(num_dpus);
   for (std::uint32_t d = 0; d < num_dpus; ++d) {
-    metas[d] = system_->dpu(d).mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
+    gather_spans[d] = {MramLayout::kMetaOffset, &metas[d], sizeof(DpuMeta)};
   }
-  system_->charge_pull(num_dpus * sizeof(DpuMeta), num_dpus,
-                       &pim::PimPhaseTimes::count_s);
+  system_->gather(gather_spans, &pim::PimPhaseTimes::count_s);
 
   // ---- statistical corrections (DESIGN.md, "Correction math") -------------
   TcResult result;
   result.num_dpus = num_dpus;
+  result.num_ranks = system_->num_ranks();
   result.edges_streamed = edges_streamed_;
   result.edges_kept = edges_kept_;
   result.edges_replicated = edges_replicated_;
@@ -292,6 +372,7 @@ TcResult PimTriangleCounter::recount() {
     result.estimate = static_cast<double>(result.rounded());
   }
   result.times = system_->times();
+  result.transfers = system_->transfer_stats();
   return result;
 }
 

@@ -27,6 +27,10 @@ struct TcResult {
 
   // ---- diagnostics --------------------------------------------------------
   std::uint32_t num_dpus = 0;
+  std::uint32_t num_ranks = 0;  ///< UPMEM ranks the allocation spans
+  /// Host<->MRAM transfer accounting (payload vs padded wire bytes,
+  /// transfer counts, pipeline overlap) of the rank-aware runtime.
+  pim::TransferStats transfers;
   std::uint64_t edges_streamed = 0;    ///< edges offered to the pipeline
   std::uint64_t edges_kept = 0;        ///< survived uniform sampling
   std::uint64_t edges_replicated = 0;  ///< total sent to PIM cores (~C x kept)

@@ -128,6 +128,14 @@ TEST(ConfigValidationTest, RejectsDegenerateMisraGries) {
   EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
 }
 
+TEST(ConfigValidationTest, RejectsBadRankTopology) {
+  EngineConfig cfg = small_config();
+  cfg.pim.dpus_per_rank = 0;
+  EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
+  cfg.pim.dpus_per_rank = cfg.pim.max_dpus + 1;
+  EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
+}
+
 TEST(ConfigValidationTest, AcceptsTheDefaults) {
   EXPECT_NO_THROW(EngineConfig{}.validate());
 }
@@ -326,6 +334,72 @@ TEST(ReportTest, HeavyHittersSurfaceWhenMisraGriesEnabled) {
   ASSERT_FALSE(r.heavy_hitters.empty());
   EXPECT_LE(r.heavy_hitters.size(), 4u);
   EXPECT_GT(r.heavy_hitters.front().estimated_degree, 0u);
+}
+
+TEST(ReportTest, HostThreadsPlumbedThroughEveryBackend) {
+  EngineConfig cfg = small_config();
+  cfg.host_threads = 3;
+  EXPECT_EQ(make_engine("pim", cfg)->recount().host_threads, 3u);
+  EXPECT_EQ(make_engine("cpu", cfg)->recount().host_threads, 3u);
+  // The adjacency engine is inherently serial and says so.
+  EXPECT_EQ(make_engine("cpu-incremental", cfg)->recount().host_threads, 1u);
+}
+
+TEST(ReportTest, PimReportCarriesRankAwareTransferBreakdown) {
+  const graph::EdgeList g = test_graph(11);
+  EngineConfig cfg = small_config();
+  cfg.pim.dpus_per_rank = 8;  // 20 cores for C=4 -> 3 ranks
+  const CountReport r = make_engine("pim", cfg)->count(g);
+  EXPECT_EQ(r.num_ranks, 3u);
+  EXPECT_GT(r.transfers.push_transfers, 0u);
+  EXPECT_GT(r.transfers.pull_transfers, 0u);
+  EXPECT_GE(r.transfers.push_wire_bytes, r.transfers.push_payload_bytes);
+  EXPECT_GE(r.transfers.overlap_saved_s, 0.0);
+
+  // Backends without a transfer model report zeros.
+  const CountReport c = make_engine("cpu", cfg)->count(g);
+  EXPECT_EQ(c.num_ranks, 0u);
+  EXPECT_EQ(c.transfers.push_transfers, 0u);
+}
+
+TEST(ReportTest, PipelinedAndSerialSessionsAgreeBitForBit) {
+  // engine_test parity criterion: rank-aware + pipelined ingestion must
+  // produce the identical estimate to the serial path on a fixed seed.
+  const graph::EdgeList g = test_graph(12);
+  const auto edges = g.edges();
+  const std::size_t step = edges.size() / 3;
+
+  const auto run = [&](bool pipelined, std::uint64_t staging) {
+    EngineConfig cfg = small_config(1234);
+    cfg.uniform_p = 0.7;              // exercise the sampling RNG too
+    cfg.sample_capacity_edges = 300;  // and reservoir replacement
+    cfg.pipelined_ingest = pipelined;
+    cfg.staging_capacity_edges = staging;
+    auto eng = make_engine("pim", cfg);
+    for (std::size_t b = 0; b < 3; ++b) {
+      const std::size_t lo = b * step;
+      const std::size_t hi = (b == 2) ? edges.size() : lo + step;
+      eng->add_edges(edges.subspan(lo, hi - lo));
+    }
+    return eng->recount().estimate;
+  };
+
+  const double serial = run(false, 0);
+  EXPECT_EQ(serial, run(true, 0));
+  EXPECT_EQ(serial, run(true, 50));
+}
+
+TEST(ReportTest, ResetTimersSettlesInFlightPipelinedTime) {
+  // add_edges leaves its flush's device time in flight (pipelined default);
+  // reset_timers must settle it into the pre-reset window, or the next
+  // recount would charge pre-reset work into the fresh measurement window.
+  const graph::EdgeList g = test_graph(13);
+  auto eng = make_engine("pim", small_config());
+  eng->add_edges(g.edges());
+  eng->reset_timers();
+  const CountReport r = eng->recount();
+  EXPECT_DOUBLE_EQ(r.times.ingest_s, 0.0);
+  EXPECT_EQ(r.transfers.push_transfers, 1u);  // only recount's control push
 }
 
 TEST(ReportTest, CpuWorkProfileFeedsThePlatformModels) {

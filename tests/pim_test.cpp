@@ -41,14 +41,30 @@ TEST(MramTest, CapacityEnforced) {
   EXPECT_THROW(bank.write(255, buf.data(), 2), PimMemoryError);
 }
 
-TEST(MramTest, ReadOfUninitializedRegionThrows) {
-  // Pages are 64 KB; reads within a touched page return zero-initialized
-  // bytes (like DRAM after reset), but reads of never-touched pages throw.
+TEST(MramTest, ReadOfUninitializedRegionReturnsZeros) {
+  // Reads of never-written pages are deterministic zeros (DRAM after
+  // reset), with no page-allocation side effect; reads past capacity still
+  // throw.
   MramBank bank(1 << 20);
   bank.write_t<std::uint32_t>(0, 5);
-  std::uint32_t out = 0;
-  EXPECT_NO_THROW(bank.read(512, &out, sizeof(out)));
-  EXPECT_THROW(bank.read(512 << 10, &out, sizeof(out)), PimMemoryError);
+  std::uint32_t out = 0xdeadbeef;
+  bank.read(512, &out, sizeof(out));  // touched page, untouched bytes
+  EXPECT_EQ(out, 0u);
+  out = 0xdeadbeef;
+  bank.read(512 << 10, &out, sizeof(out));  // never-touched page
+  EXPECT_EQ(out, 0u);
+  EXPECT_EQ(bank.resident_bytes(), 64u << 10);  // the read allocated nothing
+  EXPECT_THROW(bank.read((1 << 20) - 2, &out, sizeof(out)), PimMemoryError);
+}
+
+TEST(MramTest, AccessCallCountersTally) {
+  MramBank bank(4096);
+  const std::uint64_t v = 7;
+  for (int i = 0; i < 5; ++i) bank.write_t(8 * i, v);
+  std::uint64_t out = 0;
+  bank.read(0, &out, sizeof(out));
+  EXPECT_EQ(bank.write_calls(), 5u);
+  EXPECT_EQ(bank.read_calls(), 1u);
 }
 
 TEST(MramTest, LazyGrowth) {
@@ -262,6 +278,127 @@ TEST(PimSystemTest, PhaseChargesAccumulateIndependently) {
   EXPECT_DOUBLE_EQ(sys.times().sample_creation_s, 0.5);
   EXPECT_DOUBLE_EQ(sys.times().count_s, 0.25);
   EXPECT_DOUBLE_EQ(sys.times().total_s(), 0.75);
+}
+
+// ---- rank-aware transfer runtime ------------------------------------------
+
+PimSystemConfig ranked_config(std::uint32_t dpus_per_rank) {
+  PimSystemConfig cfg;
+  cfg.mram_bytes = 1 << 20;
+  cfg.max_dpus = 64;
+  cfg.dpus_per_rank = dpus_per_rank;
+  return cfg;
+}
+
+TEST(RankTopologyTest, RanksDeriveFromDpusPerRank) {
+  PimSystem sys(ranked_config(4), 10);
+  EXPECT_EQ(sys.dpus_per_rank(), 4u);
+  EXPECT_EQ(sys.num_ranks(), 3u);  // 4 + 4 + 2
+  EXPECT_EQ(sys.rank_of(0), 0u);
+  EXPECT_EQ(sys.rank_of(3), 0u);
+  EXPECT_EQ(sys.rank_of(4), 1u);
+  EXPECT_EQ(sys.rank_of(9), 2u);
+}
+
+TEST(RankTopologyTest, ZeroDpusPerRankRejected) {
+  EXPECT_THROW(PimSystem(ranked_config(0), 4), std::invalid_argument);
+}
+
+TEST(ScatterTest, PadsEachRankToItsSlowestDpu) {
+  // 2 ranks of 4 DPUs; rank 0 spans {100, 8, 0, 16}, rank 1 all zero except
+  // one DPU.  dpu_push_xfer moves max-bytes to every DPU of an active rank:
+  // rank 0 wire = 4 * round_up(100, 8) = 416, rank 1 wire = 4 * 8 = 32.
+  PimSystem sys(ranked_config(4), 8);
+  sys.reset_times();
+  const std::vector<std::uint64_t> bytes = {100, 8, 0, 16, 0, 0, 8, 0};
+  const double seconds =
+      sys.charge_scatter(bytes, &PimPhaseTimes::sample_creation_s);
+
+  const TransferStats& s = sys.transfer_stats();
+  EXPECT_EQ(s.push_transfers, 1u);
+  EXPECT_EQ(s.push_payload_bytes, 132u);
+  EXPECT_EQ(s.push_wire_bytes, 416u + 32u);
+  const double expected =
+      sys.config().bulk_transfer_seconds(448, 2, /*push=*/true);
+  EXPECT_DOUBLE_EQ(seconds, expected);
+  EXPECT_DOUBLE_EQ(sys.times().sample_creation_s, expected);
+}
+
+TEST(ScatterTest, UniformSpansMatchTheFlatModel) {
+  // With identical spans on every DPU there is no padding, and the
+  // rank-aware charge degenerates to the old flat transfer_seconds().
+  PimSystem sys(ranked_config(4), 8);
+  sys.reset_times();
+  const std::vector<std::uint64_t> bytes(8, 4096);
+  const double seconds =
+      sys.charge_scatter(bytes, &PimPhaseTimes::sample_creation_s);
+  EXPECT_DOUBLE_EQ(seconds,
+                   sys.config().transfer_seconds(8 * 4096, 8, /*push=*/true));
+  EXPECT_EQ(sys.transfer_stats().push_wire_bytes,
+            sys.transfer_stats().push_payload_bytes);
+}
+
+TEST(ScatterTest, NullPhaseRecordsStatsWithoutCharging) {
+  PimSystem sys(ranked_config(4), 4);
+  sys.reset_times();
+  const std::vector<std::uint64_t> bytes(4, 64);
+  const double seconds = sys.charge_scatter(bytes, nullptr);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_EQ(sys.transfer_stats().push_transfers, 1u);
+  EXPECT_DOUBLE_EQ(sys.times().sample_creation_s, 0.0);
+  sys.note_overlap_saved(seconds);
+  EXPECT_DOUBLE_EQ(sys.transfer_stats().overlap_saved_s, seconds);
+}
+
+TEST(ScatterTest, EmptyTransferIsFree) {
+  PimSystem sys(ranked_config(4), 4);
+  sys.reset_times();
+  const std::vector<std::uint64_t> bytes(4, 0);
+  EXPECT_DOUBLE_EQ(sys.charge_scatter(bytes, &PimPhaseTimes::count_s), 0.0);
+  EXPECT_EQ(sys.transfer_stats().push_transfers, 0u);
+  EXPECT_DOUBLE_EQ(sys.times().count_s, 0.0);
+}
+
+TEST(ScatterTest, WrongSpanCountRejected) {
+  PimSystem sys(ranked_config(4), 4);
+  const std::vector<std::uint64_t> bytes(3, 8);
+  EXPECT_THROW(sys.charge_scatter(bytes, nullptr), std::invalid_argument);
+}
+
+TEST(ScatterTest, FunctionalScatterGatherRoundTrip) {
+  PimSystem sys(ranked_config(2), 4);
+  sys.reset_times();
+  std::vector<std::vector<std::uint64_t>> payload(4);
+  std::vector<ScatterSpan> out(4);
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    payload[d] = {d + 1ull, d + 100ull};
+    out[d] = {64, payload[d].data(), payload[d].size() * 8};
+  }
+  sys.scatter(out, &PimPhaseTimes::sample_creation_s);
+
+  std::vector<std::vector<std::uint64_t>> back(4, std::vector<std::uint64_t>(2));
+  std::vector<GatherSpan> in(4);
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    in[d] = {64, back[d].data(), back[d].size() * 8};
+  }
+  sys.gather(in, &PimPhaseTimes::count_s);
+  for (std::uint32_t d = 0; d < 4; ++d) EXPECT_EQ(back[d], payload[d]);
+
+  EXPECT_EQ(sys.transfer_stats().push_transfers, 1u);
+  EXPECT_EQ(sys.transfer_stats().pull_transfers, 1u);
+  EXPECT_EQ(sys.transfer_stats().pull_payload_bytes, 64u);
+  EXPECT_GT(sys.times().sample_creation_s, 0.0);
+  EXPECT_GT(sys.times().count_s, 0.0);
+}
+
+TEST(ScatterTest, ResetTimesClearsTransferStats) {
+  PimSystem sys(ranked_config(4), 4);
+  const std::vector<std::uint64_t> bytes(4, 64);
+  sys.charge_scatter(bytes, &PimPhaseTimes::sample_creation_s);
+  EXPECT_EQ(sys.transfer_stats().push_transfers, 1u);
+  sys.reset_times();
+  EXPECT_EQ(sys.transfer_stats().push_transfers, 0u);
+  EXPECT_DOUBLE_EQ(sys.times().sample_creation_s, 0.0);
 }
 
 TEST(PimSystemTest, MaxColorsForPaperMachine) {

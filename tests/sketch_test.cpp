@@ -205,6 +205,109 @@ TEST(ReservoirTest, ReplacementRateMatchesTheory) {
   EXPECT_NEAR(replaced, expected, expected * 0.25);
 }
 
+// ---- batched reservoir staging ---------------------------------------------------
+
+TEST(ReservoirStagingTest, MatchesPerItemApplicationExactly) {
+  // Applying the staged image (append run + folded replacement runs) must
+  // reproduce the per-item reference reservoir bit for bit: same policy
+  // seed, same offers, same final slots.
+  constexpr std::uint64_t kM = 32;
+  constexpr int kStream = 500;
+  ReservoirSampler<int> reference(kM, 99);
+  ReservoirPolicy policy(kM, 99);
+  ReservoirStaging<int> staging;
+  std::vector<int> applied(kM, -1);
+
+  int next = 0;
+  for (int batch = 0; batch < 5; ++batch) {
+    staging.begin(policy.stored());
+    for (int i = 0; i < kStream / 5; ++i) {
+      reference.offer(next);
+      staging.stage(policy, next);
+      ++next;
+    }
+    // Flush: contiguous appends, then coalesced replacement runs.
+    std::copy(staging.appends().begin(), staging.appends().end(),
+              applied.begin() + static_cast<std::ptrdiff_t>(staging.base_slot()));
+    staging.for_each_replace_run(
+        [&](std::uint64_t first_slot, const int* items, std::size_t n) {
+          for (std::size_t k = 0; k < n; ++k) {
+            applied[static_cast<std::size_t>(first_slot) + k] = items[k];
+          }
+        });
+  }
+
+  ASSERT_EQ(reference.items().size(), kM);
+  for (std::size_t s = 0; s < kM; ++s) {
+    EXPECT_EQ(applied[s], reference.items()[s]) << "slot " << s;
+  }
+}
+
+TEST(ReservoirStagingTest, ReplaceRunsAreSortedDisjointAndDeduplicated) {
+  // Fill the reservoir in a first batch so a second batch's replacements
+  // target prior-batch slots and really land in the replacement image.
+  ReservoirPolicy policy(16, 7);
+  ReservoirStaging<int> staging;
+  staging.begin(policy.stored());
+  for (int i = 0; i < 16; ++i) staging.stage(policy, i);
+
+  staging.begin(policy.stored());  // base 16: appends stay empty
+  for (int i = 16; i < 2000; ++i) staging.stage(policy, i);
+  EXPECT_TRUE(staging.appends().empty());
+  EXPECT_GT(staging.replace_count(), 0u);
+
+  std::uint64_t last_end = 0;
+  bool first = true;
+  std::uint64_t total = 0;
+  staging.for_each_replace_run(
+      [&](std::uint64_t first_slot, const int*, std::size_t n) {
+        ASSERT_GT(n, 0u);
+        // Runs are maximal: consecutive runs are separated by a gap.
+        if (!first) EXPECT_GT(first_slot, last_end + 1);
+        EXPECT_LE(first_slot + n, 16u);
+        last_end = first_slot + n - 1;
+        first = false;
+        total += n;
+      });
+  EXPECT_EQ(total, staging.replace_count());
+  EXPECT_LE(total, 16u);  // folded: at most one record per slot
+}
+
+TEST(ReservoirStagingTest, ReusedAcrossBatchesWithoutReallocating) {
+  ReservoirPolicy policy(8, 11);
+  ReservoirStaging<int> staging;
+  staging.begin(policy.stored());
+  for (int i = 0; i < 1000; ++i) staging.stage(policy, i);
+  (void)staging.staged_items();
+  const std::size_t append_cap = staging.appends().capacity();
+
+  staging.begin(policy.stored());
+  EXPECT_TRUE(staging.empty());
+  EXPECT_EQ(staging.appends().capacity(), append_cap)
+      << "begin() must keep buffer capacity (persistent staging)";
+  for (int i = 0; i < 100; ++i) staging.stage(policy, i);
+  EXPECT_EQ(staging.appends().capacity(), append_cap);
+}
+
+TEST(ReservoirStagingTest, ReplaceOfSameBatchAppendRewritesInPlace) {
+  // Fill a tiny reservoir well past capacity inside ONE batch: every
+  // replacement lands on a slot appended in the same batch and must fold
+  // into the append image instead of emitting a replacement record.
+  ReservoirPolicy policy(4, 13);
+  ReservoirStaging<int> staging;
+  staging.begin(policy.stored());  // base 0
+  for (int i = 0; i < 400; ++i) staging.stage(policy, i);
+  EXPECT_EQ(staging.appends().size(), 4u);
+  EXPECT_EQ(staging.replace_count(), 0u);
+
+  // Reference: identical policy applied item-by-item.
+  ReservoirSampler<int> reference(4, 13);
+  for (int i = 0; i < 400; ++i) reference.offer(i);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(staging.appends()[s], reference.items()[s]);
+  }
+}
+
 // ---- uniform sampler -------------------------------------------------------------
 
 TEST(UniformSamplerTest, KeepAllAtPOne) {

@@ -41,9 +41,12 @@ using namespace pimtc;
       "  pimtc count    --graph=<file> [--backend=<name>] [--colors=<C>]\n"
       "                 [--p=<keep prob>] [--capacity=<edges/core>]\n"
       "                 [--misra-gries] [--mg-top=<t>] [--incremental]\n"
-      "                 [--threads=<n>] [--json] [--exact-check]\n"
-      "                 [--check-backend=<name>]\n"
-      "  pimtc backends\n");
+      "                 [--threads=<n>] [--dpus-per-rank=<n>]\n"
+      "                 [--staging=<edges/core>] [--no-pipeline]\n"
+      "                 [--json] [--exact-check] [--check-backend=<name>]\n"
+      "  pimtc backends\n"
+      "graphs load by extension: .bin (pimtc binary), .mtx (MatrixMarket),\n"
+      "anything else as 'u v' text\n");
   std::exit(2);
 }
 
@@ -168,6 +171,11 @@ engine::EngineConfig config_from_args(const Args& args) {
   cfg.incremental = args.flag("incremental");
   cfg.host_threads = static_cast<std::uint32_t>(args.num("threads", 0));
   cfg.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  cfg.staging_capacity_edges =
+      static_cast<std::uint64_t>(args.num("staging", 0));
+  cfg.pipelined_ingest = !args.flag("no-pipeline");
+  cfg.pim.dpus_per_rank = static_cast<std::uint32_t>(
+      args.num("dpus-per-rank", cfg.pim.dpus_per_rank));
   return cfg;
 }
 
@@ -210,6 +218,22 @@ void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
       r.used_incremental ? "true" : "false",
       static_cast<unsigned long long>(r.work.conversion_ops),
       static_cast<unsigned long long>(r.work.intersection_steps));
+  std::printf(",\"host_threads\":%u", r.host_threads);
+  if (r.num_ranks > 0) {
+    std::printf(
+        ",\"transfers\":{\"ranks\":%u,"
+        "\"push\":{\"count\":%llu,\"payload_bytes\":%llu,\"wire_bytes\":%llu},"
+        "\"pull\":{\"count\":%llu,\"payload_bytes\":%llu,\"wire_bytes\":%llu},"
+        "\"overlap_saved_s\":%.9g}",
+        r.num_ranks,
+        static_cast<unsigned long long>(r.transfers.push_transfers),
+        static_cast<unsigned long long>(r.transfers.push_payload_bytes),
+        static_cast<unsigned long long>(r.transfers.push_wire_bytes),
+        static_cast<unsigned long long>(r.transfers.pull_transfers),
+        static_cast<unsigned long long>(r.transfers.pull_payload_bytes),
+        static_cast<unsigned long long>(r.transfers.pull_wire_bytes),
+        r.transfers.overlap_saved_s);
+  }
   if (!r.heavy_hitters.empty()) {
     std::printf(",\"heavy_hitters\":[");
     for (std::size_t i = 0; i < r.heavy_hitters.size(); ++i) {
@@ -256,6 +280,22 @@ void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
               r.simulated_times ? "sim" : "cpu", r.times.setup_s * 1e3,
               r.times.ingest_s * 1e3, r.times.count_s * 1e3,
               r.times.host_s * 1e3);
+  if (r.num_ranks > 0) {
+    const double pad =
+        r.transfers.push_payload_bytes > 0
+            ? static_cast<double>(r.transfers.push_wire_bytes) /
+                  static_cast<double>(r.transfers.push_payload_bytes)
+            : 1.0;
+    std::printf("transfers:  %u ranks | %llu pushes, %.1f KB payload -> "
+                "%.1f KB wire (x%.2f pad) | %llu pulls | overlap saved "
+                "%.3f ms\n",
+                r.num_ranks,
+                static_cast<unsigned long long>(r.transfers.push_transfers),
+                r.transfers.push_payload_bytes / 1024.0,
+                r.transfers.push_wire_bytes / 1024.0, pad,
+                static_cast<unsigned long long>(r.transfers.pull_transfers),
+                r.transfers.overlap_saved_s * 1e3);
+  }
   if (!r.heavy_hitters.empty()) {
     std::printf("heavy:      ");
     for (std::size_t i = 0; i < r.heavy_hitters.size(); ++i) {
