@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
     double ingest_ms;
     double count_ms;
     double throughput;
-    double wire_pad;  // wire/payload of the rank-parallel pushes
+    double wire_pad;   // wire/payload of the rank-parallel pushes
+    double imbalance;  // max/mean per-core load (count gated by the max)
   };
   std::vector<Row> rows;
 
@@ -50,10 +51,8 @@ int main(int argc, char** argv) {
     row.ingest_ms = r.times.sample_creation_s * 1e3;
     row.count_ms = r.times.count_s * 1e3;
     row.throughput = static_cast<double>(list.num_edges()) / row.count_ms;
-    row.wire_pad = r.transfers.push_payload_bytes > 0
-                       ? static_cast<double>(r.transfers.push_wire_bytes) /
-                             static_cast<double>(r.transfers.push_payload_bytes)
-                       : 1.0;
+    row.wire_pad = r.transfers.push_padding();
+    row.imbalance = r.load_imbalance;
     rows.push_back(row);
   }
 
@@ -61,13 +60,15 @@ int main(int argc, char** argv) {
     return a.max_degree < b.max_degree;
   });
 
-  std::printf("%-14s %10s %10s %12s %12s %14s %8s\n", "graph", "maxdeg", "|E|",
-              "ingest (ms)", "count (ms)", "edges/ms", "pad x");
+  std::printf("%-14s %10s %10s %12s %12s %14s %8s %10s\n", "graph", "maxdeg",
+              "|E|", "ingest (ms)", "count (ms)", "edges/ms", "pad x",
+              "imbalance");
   for (const Row& row : rows) {
-    std::printf("%-14s %10llu %10zu %12.2f %12.2f %14.1f %8.2f\n",
+    std::printf("%-14s %10llu %10zu %12.2f %12.2f %14.1f %8.2f %9.2fx\n",
                 row.name.c_str(),
                 static_cast<unsigned long long>(row.max_degree), row.edges,
-                row.ingest_ms, row.count_ms, row.throughput, row.wire_pad);
+                row.ingest_ms, row.count_ms, row.throughput, row.wire_pad,
+                row.imbalance);
   }
 
   // Shape: (a) throughput is (near-)monotone decreasing in max degree;

@@ -1,0 +1,140 @@
+// PartitionPlan: the placement layer between color triplets and physical
+// PIM cores (DPUs).
+//
+// The triplet table fixes *what* each core computes; the plan decides
+// *where* each triplet runs.  That mapping is pure bookkeeping for the
+// estimator — per-triplet reservoirs, corrections and seeds are all keyed
+// by triplet index, so the estimate is bit-identical under any placement —
+// but it shapes the timing model twice:
+//
+//  * scatter padding: the rank-parallel transfer engine pads every DPU of a
+//    rank to the slowest (largest) span, so ranks mixing light kind-1
+//    triplets (expected load N) with heavy kind-3 triplets (6N) move up to
+//    6x the payload on the wire.  Packing similar loads into the same rank
+//    shrinks the wire/payload gap toward 1.
+//  * launch skew: the host boots ranks one after another, so a heavy core
+//    in a late rank finishes latest.  Placing heavy triplets in the ranks
+//    booted first hides the skew under their longer kernels.
+//
+// Three policies:
+//   identity        triplet i runs on DPU i (the legacy layout),
+//   kind_interleave kind-major static order — ranks are filled kind by
+//                   kind so equal-expected-load cores share a rank,
+//   greedy_balance  LPT packing by *observed* per-triplet load: the first
+//                   non-empty batch (and any later rebalance()) sorts
+//                   triplets by measured load, heaviest first, and chunks
+//                   the sorted order into ranks.
+//
+// The plan also owns auto color selection: num_colors == 0 derives the
+// largest C with binom(C+2, 3) <= max_dpus, so the default machine is
+// actually filled (2560 DPUs -> C = 23 -> 2300 cores) instead of idling on
+// a hand-picked small C.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "coloring/triplets.hpp"
+
+namespace pimtc::color {
+
+enum class PlacementPolicy : std::uint8_t {
+  kIdentity,
+  kKindInterleave,
+  kGreedyBalance,
+};
+
+[[nodiscard]] const char* to_string(PlacementPolicy policy) noexcept;
+
+/// Parses "identity" | "kind_interleave"/"kind" | "greedy_balance"/"greedy";
+/// throws std::invalid_argument for anything else.
+[[nodiscard]] PlacementPolicy placement_from_string(const std::string& name);
+
+class PartitionPlan {
+ public:
+  /// Builds the plan for `num_colors` colors (must be >= 1; resolve 0 via
+  /// auto_colors() first) laid out over ranks of `dpus_per_rank` DPUs.
+  PartitionPlan(std::uint32_t num_colors, PlacementPolicy policy,
+                std::uint32_t dpus_per_rank);
+
+  /// Largest C whose binom(C+2, 3) triplets fit `max_dpus` cores, capped at
+  /// the triplet table's 256-color limit.  Returns 0 when not even C = 1
+  /// fits (machine smaller than one core).
+  [[nodiscard]] static std::uint32_t auto_colors(std::uint64_t max_dpus) noexcept;
+
+  /// Expected relative load of a triplet kind (1 / 2 / 3 distinct colors
+  /// see N / 3N / 6N edges for N = |E| / C^2).
+  [[nodiscard]] static constexpr std::uint32_t kind_weight(
+      std::uint32_t kind) noexcept {
+    return kind == 1 ? 1 : kind == 2 ? 3 : 6;
+  }
+
+  /// max(load) / mean(load); 1.0 for empty or all-zero loads.  The count
+  /// phase is gated by the max, so this is the headroom a perfectly uniform
+  /// partition would recover.
+  [[nodiscard]] static double load_imbalance(
+      std::span<const std::uint64_t> loads) noexcept;
+
+  [[nodiscard]] const TripletTable& table() const noexcept { return table_; }
+  [[nodiscard]] std::uint32_t num_colors() const noexcept {
+    return table_.num_colors();
+  }
+  [[nodiscard]] std::uint32_t num_dpus() const noexcept {
+    return table_.num_triplets();
+  }
+  [[nodiscard]] PlacementPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] std::uint32_t dpus_per_rank() const noexcept {
+    return dpus_per_rank_;
+  }
+
+  /// Physical DPU executing triplet `t`, and its inverse.  Both are total
+  /// bijections over [0, num_dpus()).
+  [[nodiscard]] std::uint32_t dpu_of(std::uint32_t triplet) const noexcept {
+    return dpu_of_[triplet];
+  }
+  [[nodiscard]] std::uint32_t triplet_of(std::uint32_t dpu) const noexcept {
+    return triplet_of_[dpu];
+  }
+  [[nodiscard]] const std::vector<std::uint32_t>& placement() const noexcept {
+    return dpu_of_;
+  }
+
+  /// LPT placement for the given per-triplet loads: triplets sorted by load
+  /// descending (ties by triplet index, so the result is deterministic) and
+  /// chunked into ranks in that order — similar loads share a rank and the
+  /// heaviest rank boots first.
+  [[nodiscard]] std::vector<std::uint32_t> balanced_placement(
+      std::span<const std::uint64_t> per_triplet_load) const;
+
+  /// Installs an explicit triplet->DPU map (validated bijection; throws
+  /// std::invalid_argument otherwise).  Returns false when it equals the
+  /// current placement.  Callers owning device state must migrate it —
+  /// see tc::PimTriangleCounter::rebalance().
+  bool set_placement(std::span<const std::uint32_t> dpu_of_triplet);
+
+  /// Wire bytes the rank-padded transfer engine would move for one scatter
+  /// of `per_triplet_bytes`, under the current placement or an explicit
+  /// candidate — the objective rebalancing minimizes.  `alignment` is the
+  /// engine's transfer granularity (PimSystemConfig::dma_alignment_bytes);
+  /// pass it to match the modeled wire exactly.
+  [[nodiscard]] std::uint64_t padded_wire_bytes(
+      std::span<const std::uint64_t> per_triplet_bytes,
+      std::uint32_t alignment = 1) const noexcept {
+    return padded_wire_bytes(per_triplet_bytes, dpu_of_, alignment);
+  }
+  [[nodiscard]] std::uint64_t padded_wire_bytes(
+      std::span<const std::uint64_t> per_triplet_bytes,
+      std::span<const std::uint32_t> dpu_of_triplet,
+      std::uint32_t alignment = 1) const noexcept;
+
+ private:
+  TripletTable table_;
+  PlacementPolicy policy_;
+  std::uint32_t dpus_per_rank_;
+  std::vector<std::uint32_t> dpu_of_;      // triplet -> DPU
+  std::vector<std::uint32_t> triplet_of_;  // DPU -> triplet
+};
+
+}  // namespace pimtc::color

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "coloring/partition_plan.hpp"
 #include "pim/config.hpp"
 #include "tc/config.hpp"
 
@@ -40,8 +41,22 @@ struct EngineConfig {
   // ---- PIM pipeline --------------------------------------------------------
   /// Number of vertex colors C; the run uses binom(C+2, 3) PIM cores.
   /// The engine API requires C >= 2 (C == 1 degenerates to a single core
-  /// counting a monochromatic copy of the whole graph).
+  /// counting a monochromatic copy of the whole graph).  0 = auto: derive
+  /// the largest C whose triplet count fits `pim.max_dpus`, so the machine
+  /// is filled (2560 DPUs -> C = 23 -> 2300 cores, ~90% utilization).
   std::uint32_t num_colors = 8;
+
+  /// Triplet->DPU placement policy (coloring/partition_plan.hpp): identity
+  /// keeps the legacy triplet-index layout, kind_interleave packs equal-
+  /// expected-load kinds into the same ranks, greedy_balance re-plans from
+  /// observed loads.  Timing-only — the estimate is bit-identical.
+  color::PlacementPolicy placement = color::PlacementPolicy::kIdentity;
+
+  /// Runtime rebalancing: recount() re-plans placement from observed loads
+  /// and migrates resident samples (modeled gather + scatter) when the
+  /// projected scatter wire bytes shrink by >= rebalance_min_gain.
+  bool rebalance_enabled = false;
+  double rebalance_min_gain = 1.05;
 
   /// PIM threads per core; the paper evaluates with 16.
   std::uint32_t tasklets = 16;

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/math_util.hpp"
+#include "tc/kernel.hpp"
 #include "tc/layout.hpp"
 
 namespace pimtc::engine {
@@ -14,15 +15,19 @@ CountReport TriangleCountEngine::count(const graph::EdgeList& graph) {
 }
 
 void EngineConfig::validate() const {
-  if (num_colors < 2) {
+  // 0 = auto selection; the resolved C must still satisfy the >= 2 rule.
+  const std::uint32_t colors =
+      num_colors == 0 ? color::PartitionPlan::auto_colors(pim.max_dpus)
+                      : num_colors;
+  if (colors < 2) {
     throw std::invalid_argument(
         "EngineConfig: num_colors must be >= 2 (C == 1 degenerates to one "
         "monochromatic core)");
   }
-  const std::uint64_t dpus = num_triplets(num_colors);
+  const std::uint64_t dpus = num_triplets(colors);
   if (dpus > pim.max_dpus) {
     throw std::invalid_argument(
-        "EngineConfig: " + std::to_string(num_colors) + " colors need " +
+        "EngineConfig: " + std::to_string(colors) + " colors need " +
         std::to_string(dpus) + " PIM cores but the system has " +
         std::to_string(pim.max_dpus));
   }
@@ -35,13 +40,28 @@ void EngineConfig::validate() const {
   if (!(uniform_p > 0.0 && uniform_p <= 1.0)) {  // also rejects NaN
     throw std::invalid_argument("EngineConfig: uniform_p must be in (0, 1]");
   }
-  if (wram_buffer_edges == 0) {
+  const std::uint32_t max_buffer = tc::max_wram_buffer_edges(pim, tasklets);
+  if (wram_buffer_edges < 4 || wram_buffer_edges > max_buffer) {
     throw std::invalid_argument(
-        "EngineConfig: wram_buffer_edges must be >= 1");
+        "EngineConfig: wram_buffer_edges must be in [4, " +
+        std::to_string(max_buffer) +
+        "] (kernel minimum burst; worst-case per-tasklet buffers must fit "
+        "the WRAM budget), got " +
+        std::to_string(wram_buffer_edges));
   }
   if (misra_gries_enabled && (mg_capacity == 0 || mg_top == 0)) {
     throw std::invalid_argument(
         "EngineConfig: Misra-Gries needs mg_capacity >= 1 and mg_top >= 1");
+  }
+  if (misra_gries_enabled && mg_top > mg_capacity) {
+    throw std::invalid_argument(
+        "EngineConfig: mg_top (" + std::to_string(mg_top) +
+        ") exceeds mg_capacity (" + std::to_string(mg_capacity) +
+        "): cannot remap more nodes than Misra-Gries tracks");
+  }
+  if (!(rebalance_min_gain >= 1.0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "EngineConfig: rebalance_min_gain must be >= 1");
   }
   if (pim.dpus_per_rank == 0) {
     throw std::invalid_argument(
@@ -75,6 +95,9 @@ tc::TcConfig EngineConfig::to_tc_config() const noexcept {
   cfg.pipelined_ingest = pipelined_ingest;
   cfg.incremental = incremental;
   cfg.seed = seed;
+  cfg.placement = placement;
+  cfg.rebalance_enabled = rebalance_enabled;
+  cfg.rebalance_min_gain = rebalance_min_gain;
   cfg.cost = cost;
   return cfg;
 }

@@ -34,6 +34,13 @@ CountReport PimEngine::recount() {
   report.max_unit_edges = r.max_dpu_edges;
   report.reservoir_overflows = r.reservoir_overflows;
   report.used_incremental = r.used_incremental;
+  report.num_colors = r.num_colors;
+  report.placement = r.placement;
+  report.dpu_utilization = r.dpu_utilization;
+  report.load_imbalance = r.load_imbalance;
+  report.kind_edges_seen = r.kind_edges_seen;
+  report.kind_units = r.kind_dpus;
+  report.rebalances = r.rebalances;
 
   if (config_.misra_gries_enabled) {
     const sketch::MisraGries& mg = counter_.heavy_hitters();

@@ -9,6 +9,7 @@
 // meaningful.  See DESIGN.md "Engine architecture".
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -98,6 +99,20 @@ struct CountReport {
   std::uint64_t max_unit_edges = 0;    ///< load balance: max t_d
   std::uint64_t reservoir_overflows = 0;  ///< units with t_d > M
   bool used_incremental = false;  ///< this recount took the incremental path
+
+  // ---- partition / placement diagnostics (PIM backend) --------------------
+  std::uint32_t num_colors = 0;  ///< resolved C (auto selection filled in)
+  std::string placement;         ///< triplet->DPU placement policy name
+  double dpu_utilization = 0.0;  ///< cores used / machine max_dpus
+  /// max(t_d) / mean(t_d) over units: the count phase is gated by the max,
+  /// so this is the headroom a perfectly uniform partition would recover.
+  double load_imbalance = 0.0;
+  /// Per-kind load histogram: edges ever offered to cores of each triplet
+  /// kind (1/2/3 distinct colors; expected loads N/3N/6N), plus the number
+  /// of cores of that kind.
+  std::array<std::uint64_t, 3> kind_edges_seen{};
+  std::array<std::uint32_t, 3> kind_units{};
+  std::uint32_t rebalances = 0;  ///< sample migrations performed this session
 
   /// Misra-Gries top-t summary when the backend ran with it enabled.
   std::vector<HeavyHitter> heavy_hitters;

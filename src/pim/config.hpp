@@ -71,6 +71,14 @@ struct PimSystemConfig {
   double alloc_per_rank_s = 0.9e-3;  ///< rank discovery / reset
   double program_load_per_rank_s = 0.35e-3;  ///< broadcast IRAM image
   double launch_overhead_s = 25e-6;  ///< per kernel launch (boot + fault poll)
+  /// The host boots ranks sequentially (one boot-register broadcast per
+  /// rank), so rank r starts ~r * this after rank 0.  A launch completes at
+  /// max over ranks of (start skew + slowest kernel in the rank) — placing
+  /// heavy cores in early ranks hides the skew under their longer kernels.
+  /// A per-rank boot broadcast is one control-interface write (~µs); small
+  /// next to the kernels (36 ranks ≈ 35 µs) but it is what makes placement
+  /// visible to the count phase.
+  double launch_skew_per_rank_s = 1e-6;
 
   /// Number of ranks needed for `dpus` DPUs.
   [[nodiscard]] std::uint32_t ranks_for(std::uint32_t dpus) const noexcept {

@@ -131,12 +131,23 @@ void PimSystem::launch_on(std::uint32_t count,
     kernel(*dpus_[i]);
   });
 
-  double max_cycles = 0.0;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    max_cycles = std::max(max_cycles, dpus_[i]->cycles() - before[i]);
+  // Ranks boot sequentially: rank r's kernels start r * launch_skew later,
+  // so the launch completes when the last rank's slowest DPU does.  This is
+  // what makes placement matter to count time — a heavy core in a late rank
+  // gates the whole launch, while the same core in rank 0 hides the skew.
+  double completion_s = 0.0;
+  std::uint32_t rank = 0;
+  for (std::uint32_t lo = 0; lo < count; lo += config_.dpus_per_rank, ++rank) {
+    const std::uint32_t hi = std::min(count, lo + config_.dpus_per_rank);
+    double rank_max = 0.0;
+    for (std::uint32_t i = lo; i < hi; ++i) {
+      rank_max = std::max(rank_max, dpus_[i]->cycles() - before[i]);
+    }
+    completion_s = std::max(completion_s,
+                            rank * config_.launch_skew_per_rank_s +
+                                config_.cycles_to_seconds(rank_max));
   }
-  times_.*phase +=
-      config_.launch_overhead_s + config_.cycles_to_seconds(max_cycles);
+  times_.*phase += config_.launch_overhead_s + completion_s;
 }
 
 std::uint64_t PimSystem::total_mram_high_water() const noexcept {

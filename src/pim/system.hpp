@@ -148,8 +148,8 @@ class PimSystem {
   void charge_host(double seconds, double PimPhaseTimes::* phase);
 
   /// Runs `kernel(dpu)` on every DPU (host-thread parallel).  Simulated
-  /// duration = launch overhead + max over DPUs of the cycles the kernel
-  /// charged; accumulated into `phase`.
+  /// duration = launch overhead + max over ranks of (per-rank boot skew +
+  /// the slowest kernel in the rank); accumulated into `phase`.
   void launch(const std::function<void(Dpu&)>& kernel,
               double PimPhaseTimes::* phase);
 

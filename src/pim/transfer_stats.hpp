@@ -20,6 +20,15 @@ struct TransferStats {
   std::uint64_t pull_payload_bytes = 0;
   std::uint64_t pull_wire_bytes = 0;
   double overlap_saved_s = 0.0;
+
+  /// Wire/payload padding factor of the push direction (1.0 = no padding,
+  /// i.e. every DPU of every rank moved the same number of bytes).
+  [[nodiscard]] double push_padding() const noexcept {
+    return push_payload_bytes == 0
+               ? 1.0
+               : static_cast<double>(push_wire_bytes) /
+                     static_cast<double>(push_payload_bytes);
+  }
 };
 
 }  // namespace pimtc::pim

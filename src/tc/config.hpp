@@ -3,14 +3,31 @@
 
 #include <cstdint>
 
+#include "coloring/partition_plan.hpp"
 #include "pim/config.hpp"
 
 namespace pimtc::tc {
 
 struct TcConfig {
   /// Number of vertex colors C.  The run uses binom(C+2, 3) PIM cores
-  /// (23 colors -> 2300 DPUs on the paper's 2560-DPU machine).
+  /// (23 colors -> 2300 DPUs on the paper's 2560-DPU machine).  0 = auto:
+  /// derive the largest C whose triplet count fits the machine's max_dpus,
+  /// filling it instead of idling on a small default.
   std::uint32_t num_colors = 4;
+
+  /// Triplet->DPU placement policy (see coloring/partition_plan.hpp):
+  /// identity keeps the legacy triplet-index layout; kind_interleave packs
+  /// equal-expected-load kinds into the same ranks; greedy_balance re-plans
+  /// from the observed per-triplet loads of the first non-empty batch.
+  color::PlacementPolicy placement = color::PlacementPolicy::kIdentity;
+
+  /// Runtime rebalancing: every recount() re-plans placement from observed
+  /// loads and migrates resident samples (modeled gather + scatter) when
+  /// the projected scatter wire bytes shrink by at least rebalance_min_gain.
+  /// Migration invalidates the persistent sorted arcs, so the next count is
+  /// a full pass; estimates are unaffected either way.
+  bool rebalance_enabled = false;
+  double rebalance_min_gain = 1.05;
 
   /// PIM threads per core; the paper evaluates with 16.
   std::uint32_t tasklets = 16;

@@ -19,6 +19,21 @@ namespace {
 constexpr std::uint64_t kStagedReplaceBytes =
     sizeof(std::uint64_t) + sizeof(Edge);
 
+/// Auto color selection: num_colors == 0 derives the largest C whose
+/// binom(C+2, 3) triplets fit the machine.
+std::uint32_t resolve_colors(const TcConfig& config,
+                             const pim::PimSystemConfig& pim_config) {
+  if (config.num_colors != 0) return config.num_colors;
+  const std::uint32_t colors =
+      color::PartitionPlan::auto_colors(pim_config.max_dpus);
+  if (colors == 0) {
+    throw std::invalid_argument(
+        "TcConfig: auto color selection found no C fitting " +
+        std::to_string(pim_config.max_dpus) + " PIM cores");
+  }
+  return colors;
+}
+
 }  // namespace
 
 PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
@@ -26,19 +41,40 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
     : config_(config),
       pim_config_(pim_config),
       pool_(std::make_unique<ThreadPool>(config.host_threads)),
-      table_(config.num_colors),
-      hash_(config.num_colors, derive_seed(config.seed, 0xc01u)),
+      plan_(resolve_colors(config, pim_config), config.placement,
+            pim_config.dpus_per_rank),
+      hash_(plan_.num_colors(), derive_seed(config.seed, 0xc01u)),
       global_mg_(std::max<std::uint32_t>(1, config.mg_capacity)) {
-  if (config_.num_colors == 0) {
-    throw std::invalid_argument("TcConfig: num_colors must be >= 1");
-  }
+  config_.num_colors = plan_.num_colors();
   if (config_.tasklets == 0 || config_.tasklets > pim_config_.max_tasklets) {
     throw std::invalid_argument("TcConfig: bad tasklet count");
   }
   if (config_.uniform_p <= 0.0 || config_.uniform_p > 1.0) {
     throw std::invalid_argument("TcConfig: uniform_p must be in (0, 1]");
   }
-  const std::uint32_t dpus = table_.num_triplets();
+  if (config_.misra_gries_enabled && config_.mg_top > config_.mg_capacity) {
+    throw std::invalid_argument(
+        "TcConfig: mg_top (" + std::to_string(config_.mg_top) +
+        ") exceeds mg_capacity (" + std::to_string(config_.mg_capacity) +
+        "): cannot remap more nodes than Misra-Gries tracks");
+  }
+  // Lower bound 4 = the kernels' minimum burst; upper bound = the budget
+  // the kernels would otherwise clamp to.  Validated, never silently moved.
+  const std::uint32_t max_buffer =
+      max_wram_buffer_edges(pim_config_, config_.tasklets);
+  if (config_.wram_buffer_edges < 4 ||
+      config_.wram_buffer_edges > max_buffer) {
+    throw std::invalid_argument(
+        "TcConfig: wram_buffer_edges must be in [4, " +
+        std::to_string(max_buffer) + "] for " +
+        std::to_string(config_.tasklets) + " tasklets and " +
+        std::to_string(pim_config_.wram_bytes) + " B of WRAM, got " +
+        std::to_string(config_.wram_buffer_edges));
+  }
+  if (!(config_.rebalance_min_gain >= 1.0)) {  // also rejects NaN
+    throw std::invalid_argument("TcConfig: rebalance_min_gain must be >= 1");
+  }
+  const std::uint32_t dpus = plan_.num_dpus();
   if (dpus > pim_config_.max_dpus) {
     throw std::invalid_argument(
         "TcConfig: " + std::to_string(config_.num_colors) + " colors need " +
@@ -56,20 +92,23 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
 
   system_ = std::make_unique<pim::PimSystem>(pim_config_, dpus, pool_.get());
   reservoirs_.reserve(dpus);
-  for (std::uint32_t d = 0; d < dpus; ++d) {
-    reservoirs_.emplace_back(capacity_, derive_seed(config_.seed, 0xd00 + d));
+  for (std::uint32_t t = 0; t < dpus; ++t) {
+    // Seeded by triplet index, not bank index: the estimator's RNG stream
+    // must not depend on where the plan places a triplet.
+    reservoirs_.emplace_back(capacity_, derive_seed(config_.seed, 0xd00 + t));
     // Initialize the control block so later read-modify-write cycles (which
     // preserve kernel-owned fields like sorted_size) start from zeros.
     DpuMeta meta;
     meta.sample_capacity = capacity_;
-    system_->dpu(d).mram().write_t(MramLayout::kMetaOffset, meta);
+    system_->dpu(t).mram().write_t(MramLayout::kMetaOffset, meta);
   }
 
   // Persistent ingestion state: sized once, reused by every batch.
   partition_.resize(pool_->size());
-  for (auto& per_dpu : partition_) per_dpu.resize(dpus);
+  for (auto& per_triplet : partition_) per_triplet.resize(dpus);
   staging_.resize(dpus);
   cursors_.resize(dpus);
+  batch_totals_.resize(dpus);
   flush_bytes_.resize(dpus);
   cycles_before_.resize(dpus);
   received_.resize(dpus);
@@ -85,11 +124,12 @@ void PimTriangleCounter::add_edges(std::span<const Edge> batch) {
   const std::size_t num_threads = pool_->size();
   const std::uint64_t batch_id = batch_counter_++;
 
-  // Per-thread, per-DPU partition buffers — "each host CPU thread manages an
-  // array of edges per PIM core" (Section 3.1).  The buffers are members:
-  // clear() keeps their capacity, so steady-state batches allocate nothing.
-  for (auto& per_dpu : partition_) {
-    for (auto& v : per_dpu) v.clear();
+  // Per-thread, per-triplet partition buffers — "each host CPU thread
+  // manages an array of edges per PIM core" (Section 3.1).  The buffers are
+  // members: clear() keeps their capacity, so steady-state batches allocate
+  // nothing.
+  for (auto& per_triplet : partition_) {
+    for (auto& v : per_triplet) v.clear();
   }
   std::vector<sketch::MisraGries> local_mg;
   std::vector<std::uint64_t> local_kept(num_threads, 0);
@@ -98,7 +138,7 @@ void PimTriangleCounter::add_edges(std::span<const Edge> batch) {
     local_mg.emplace_back(std::max<std::uint32_t>(1, config_.mg_capacity));
   }
 
-  const color::EdgePartitioner partitioner(hash_, table_);
+  const color::EdgePartitioner partitioner(hash_, plan_.table());
   pool_->parallel_chunks(
       batch.size(), [&](std::size_t t, std::size_t lo, std::size_t hi) {
         sketch::UniformSampler sampler(
@@ -146,24 +186,35 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
   const std::uint32_t recv_tasklets = config_.tasklets;
   const std::uint64_t sample_base = MramLayout::sample_offset();
 
-  // How many staging rounds does the slowest DPU need?
-  std::uint64_t max_per_dpu = 0;
-  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+  // How many staging rounds does the slowest triplet need?
+  std::uint64_t max_per_triplet = 0;
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
     std::uint64_t total = 0;
-    for (const auto& per_dpu : partition_) total += per_dpu[d].size();
-    max_per_dpu = std::max(max_per_dpu, total);
-    cursors_[d] = {0, 0};
+    for (const auto& per_triplet : partition_) total += per_triplet[t].size();
+    batch_totals_[t] = total;
+    max_per_triplet = std::max(max_per_triplet, total);
+    cursors_[t] = {0, 0};
   }
-  if (max_per_dpu == 0) {
+  if (max_per_triplet == 0) {
     // Nothing survived sampling: no scatter, but the host work just done
     // still overlaps any in-flight receive of the previous batch.
     drain_in_flight(host_window_s);
     return;
   }
+
+  // greedy_balance defers its load-aware placement to the first batch with
+  // data: nothing is resident yet, so re-planning from the observed
+  // per-triplet loads is free (no migration traffic).
+  if (plan_.policy() == color::PlacementPolicy::kGreedyBalance &&
+      !placement_observed_) {
+    placement_observed_ = true;
+    apply_placement(plan_.balanced_placement(batch_totals_));
+  }
+
   const std::uint64_t round_cap = config_.staging_capacity_edges == 0
-                                      ? max_per_dpu
+                                      ? max_per_triplet
                                       : config_.staging_capacity_edges;
-  const std::uint64_t rounds = ceil_div(max_per_dpu, round_cap);
+  const std::uint64_t rounds = ceil_div(max_per_triplet, round_cap);
 
   std::fill(received_.begin(), received_.end(), 0);
 
@@ -173,22 +224,23 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
       cycles_before_[d] = system_->dpu(d).cycles();
     }
 
-    pool_->parallel_for(num_dpus, [&](std::size_t d) {
-      pim::Dpu& dpu = system_->dpu(d);
-      sketch::ReservoirPolicy& reservoir = reservoirs_[d];
-      sketch::ReservoirStaging<Edge>& staging = staging_[d];
-      auto& [thread_idx, offset] = cursors_[d];
+    pool_->parallel_for(num_dpus, [&](std::size_t t) {
+      // The plan is a bijection, so each triplet touches its own bank.
+      pim::Dpu& dpu = system_->dpu(plan_.dpu_of(static_cast<std::uint32_t>(t)));
+      sketch::ReservoirPolicy& reservoir = reservoirs_[t];
+      sketch::ReservoirStaging<Edge>& staging = staging_[t];
+      auto& [thread_idx, offset] = cursors_[t];
 
       // Stage up to round_cap reservoir decisions host-side.
       staging.begin(reservoir.stored());
       std::uint64_t budget = round_cap;
       while (budget > 0 && thread_idx < partition_.size()) {
-        const auto& src = partition_[thread_idx][d];
+        const auto& src = partition_[thread_idx][t];
         while (offset < src.size() && budget > 0) {
           staging.stage(reservoir, src[offset]);
           ++offset;
           --budget;
-          ++received_[d];
+          ++received_[t];
         }
         if (offset == src.size()) {
           ++thread_idx;
@@ -225,7 +277,7 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
             dpu.serial_dma(bytes);
           });
 
-      flush_bytes_[d] = staged_bytes;
+      flush_bytes_[plan_.dpu_of(static_cast<std::uint32_t>(t))] = staged_bytes;
     });
 
     // The host work of this staging round (plus, for the first round, the
@@ -254,9 +306,82 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
     }
   }
 
-  for (std::uint32_t d = 0; d < num_dpus; ++d) {
-    edges_replicated_ += received_[d];
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    edges_replicated_ += received_[t];
   }
+}
+
+bool PimTriangleCounter::rebalance() {
+  // An explicit re-plan counts as an observation: greedy_balance must not
+  // overwrite it at the next batch.
+  placement_observed_ = true;
+  const std::vector<std::uint64_t> loads = per_dpu_edges_seen();
+  if (!apply_placement(plan_.balanced_placement(loads))) return false;
+  ++rebalances_;
+  return true;
+}
+
+bool PimTriangleCounter::migrate_to(
+    std::span<const std::uint32_t> dpu_of_triplet) {
+  placement_observed_ = true;
+  if (!apply_placement(dpu_of_triplet)) return false;
+  ++rebalances_;
+  return true;
+}
+
+bool PimTriangleCounter::apply_placement(
+    std::span<const std::uint32_t> dpu_of_triplet) {
+  const std::uint32_t num_dpus = plan_.num_dpus();
+  if (dpu_of_triplet.size() != num_dpus) {
+    throw std::invalid_argument(
+        "PimTriangleCounter: placement needs one DPU per triplet");
+  }
+  const std::vector<std::uint32_t> old = plan_.placement();
+  if (std::equal(old.begin(), old.end(), dpu_of_triplet.begin())) {
+    return false;  // no-op re-plan: no sync point, no migration
+  }
+  // A placement change is a sync point: the previous flush must have landed
+  // before its sample can move banks.
+  drain_in_flight(0.0);
+  plan_.set_placement(dpu_of_triplet);
+
+  // Migrate resident samples between banks: pull every moved triplet's
+  // sample to the host in one rank-parallel gather, push them to their new
+  // banks in one scatter.  Both are modeled (and charged to the ingest
+  // phase) exactly like any other bulk transfer.
+  std::vector<std::vector<Edge>> moved(num_dpus);
+  std::vector<pim::GatherSpan> gathers(num_dpus);
+  std::vector<pim::ScatterSpan> scatters(num_dpus);
+  bool any_resident = false;
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    if (old[t] == plan_.dpu_of(t)) continue;
+    const std::uint64_t bytes = reservoirs_[t].stored() * sizeof(Edge);
+    if (bytes == 0) continue;
+    any_resident = true;
+    moved[t].resize(static_cast<std::size_t>(reservoirs_[t].stored()));
+    gathers[old[t]] = {MramLayout::sample_offset(), moved[t].data(), bytes};
+    scatters[plan_.dpu_of(t)] = {MramLayout::sample_offset(), moved[t].data(),
+                                 bytes};
+  }
+  if (any_resident) {
+    system_->gather(gathers, &pim::PimPhaseTimes::sample_creation_s);
+    system_->scatter(scatters, &pim::PimPhaseTimes::sample_creation_s);
+  }
+
+  // Every bank whose occupant changed gets a fresh control block: the
+  // kernel-owned sorted state it holds belongs to the previous occupant.
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    if (old[t] == plan_.dpu_of(t)) continue;
+    DpuMeta meta;
+    meta.sample_size = reservoirs_[t].stored();
+    meta.edges_seen = reservoirs_[t].seen();
+    meta.sample_capacity = capacity_;
+    system_->dpu(plan_.dpu_of(t)).mram().write_t(MramLayout::kMetaOffset,
+                                                 meta);
+    // The persistent sorted arcs did not move with the sample.
+    sorted_valid_ = false;
+  }
+  return true;
 }
 
 TcResult PimTriangleCounter::recount() {
@@ -266,6 +391,33 @@ TcResult PimTriangleCounter::recount() {
   drain_in_flight(0.0);
 
   const std::uint32_t num_dpus = system_->num_dpus();
+
+  // Automatic rebalancing: re-plan from observed loads and migrate when the
+  // projected rank-padded scatter wire shrinks by at least the configured
+  // gain (hysteresis — near-ties never thrash the placement).  The bar is
+  // deliberately on the *recurring* scatter shape, not the one-time
+  // migration cost: that cost (and the full recount it forces in
+  // incremental mode) is charged to the timeline where reports make the
+  // trade visible, and once balanced, later recounts no-op so it is paid
+  // at most once per load shift.  Raise rebalance_min_gain for streams
+  // where migrations are not worth small padding wins.
+  if (config_.rebalance_enabled) {
+    const std::vector<std::uint64_t> loads = per_dpu_edges_seen();
+    std::vector<std::uint64_t> bytes(loads.size());
+    for (std::size_t t = 0; t < loads.size(); ++t) {
+      bytes[t] = loads[t] * sizeof(Edge);
+    }
+    const std::vector<std::uint32_t> proposed =
+        plan_.balanced_placement(loads);
+    const std::uint64_t current_wire =
+        plan_.padded_wire_bytes(bytes, pim_config_.dma_alignment_bytes);
+    const std::uint64_t proposed_wire = plan_.padded_wire_bytes(
+        bytes, proposed, pim_config_.dma_alignment_bytes);
+    if (static_cast<double>(current_wire) >
+        static_cast<double>(proposed_wire) * config_.rebalance_min_gain) {
+      if (apply_placement(proposed)) ++rebalances_;
+    }
+  }
 
   // Can this recount take the incremental path?  Requires a prior full
   // count with persistence and strictly append-only samples since then.
@@ -283,16 +435,21 @@ TcResult PimTriangleCounter::recount() {
   const std::vector<NodeId>& remap = frozen_remap_;
 
   // Write control blocks (read-modify-write: the kernel owns sorted_size
-  // and the sorted-valid flag).
-  for (std::uint32_t d = 0; d < num_dpus; ++d) {
-    pim::Dpu& dpu = system_->dpu(d);
+  // and the sorted-valid flag).  The plan routes each triplet's block to
+  // its bank.
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    pim::Dpu& dpu = system_->dpu(plan_.dpu_of(t));
     DpuMeta meta = dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
-    meta.sample_size = reservoirs_[d].stored();
-    meta.edges_seen = reservoirs_[d].seen();
+    meta.sample_size = reservoirs_[t].stored();
+    meta.edges_seen = reservoirs_[t].seen();
     meta.sample_capacity = capacity_;
     meta.num_remap = static_cast<std::uint32_t>(remap.size());
-    if (config_.incremental && !overflowed) {
+    if (config_.incremental && !overflowed && sorted_valid_) {
       meta.flags |= DpuMeta::kFlagPersistSorted;
+    } else if (config_.incremental && !overflowed) {
+      meta.flags |= DpuMeta::kFlagPersistSorted;
+      meta.flags &= ~DpuMeta::kFlagSortedValid;
+      meta.sorted_size = 0;
     } else {
       meta.flags &= ~DpuMeta::kFlagPersistSorted;
       meta.flags &= ~DpuMeta::kFlagSortedValid;
@@ -313,7 +470,7 @@ TcResult PimTriangleCounter::recount() {
   // Launch the counting kernel on every core.
   KernelParams params;
   params.tasklets = config_.tasklets;
-  params.buffer_edges = std::max<std::uint32_t>(8, config_.wram_buffer_edges);
+  params.buffer_edges = config_.wram_buffer_edges;  // validated in range
   params.cost = config_.cost;
   if (incremental) {
     system_->launch(
@@ -342,26 +499,38 @@ TcResult PimTriangleCounter::recount() {
   result.edges_kept = edges_kept_;
   result.edges_replicated = edges_replicated_;
   result.used_incremental = incremental;
+  result.num_colors = config_.num_colors;
+  result.placement = color::to_string(plan_.policy());
+  result.dpu_utilization = static_cast<double>(num_dpus) /
+                           static_cast<double>(pim_config_.max_dpus);
+  result.rebalances = rebalances_;
 
   double total_scaled = 0.0;
   double mono_scaled = 0.0;
   std::uint64_t min_seen = ~0ull;
   std::uint64_t max_seen = 0;
-  for (std::uint32_t d = 0; d < num_dpus; ++d) {
-    const std::uint64_t seen = reservoirs_[d].seen();
+  std::vector<std::uint64_t> loads(num_dpus);
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    const std::uint64_t seen = reservoirs_[t].seen();
+    loads[t] = seen;
     min_seen = std::min(min_seen, seen);
     max_seen = std::max(max_seen, seen);
     if (seen > capacity_) ++result.reservoir_overflows;
 
-    result.raw_total += metas[d].triangle_count;
+    const std::uint32_t kind = plan_.table().triplet(t).kind();
+    result.kind_edges_seen[kind - 1] += seen;
+    ++result.kind_dpus[kind - 1];
+
+    const std::uint64_t raw = metas[plan_.dpu_of(t)].triangle_count;
+    result.raw_total += raw;
     const double q = reservoir_correction(capacity_, seen);
-    const double scaled =
-        q > 0.0 ? static_cast<double>(metas[d].triangle_count) / q : 0.0;
+    const double scaled = q > 0.0 ? static_cast<double>(raw) / q : 0.0;
     total_scaled += scaled;
-    if (table_.triplet(d).kind() == 1) mono_scaled += scaled;
+    if (kind == 1) mono_scaled += scaled;
   }
   result.min_dpu_edges = (num_dpus == 0 || min_seen == ~0ull) ? 0 : min_seen;
   result.max_dpu_edges = max_seen;
+  result.load_imbalance = color::PartitionPlan::load_imbalance(loads);
 
   const double colors = static_cast<double>(config_.num_colors);
   const double corrected = total_scaled - (colors - 1.0) * mono_scaled;

@@ -4,16 +4,26 @@
 // Pipeline per batch of COO edges (paper Sections 3.1-3.3):
 //   1. host threads stream their chunk of the batch: uniform sampling
 //      (discard with prob. 1-p), Misra-Gries degree summaries, and
-//      per-PIM-core partitioning into persistent per-thread per-DPU
-//      buffers (reused across batches — no per-batch allocation),
-//   2. the host computes the reservoir decisions for every DPU and
-//      materializes them into persistent per-DPU staging images
+//      per-triplet partitioning into persistent per-thread buffers
+//      (reused across batches — no per-batch allocation),
+//   2. the host computes the reservoir decisions for every triplet and
+//      materializes them into persistent per-triplet staging images
 //      (sketch::ReservoirStaging): appends coalesce to one contiguous run,
 //      replacements fold to their final value,
 //   3. each image is flushed with ONE bulk rank-parallel scatter per batch
 //      (or per staging-capacity round), padded per rank to the slowest DPU
 //      as real dpu_push_xfer transfers are; the DPU-side receive applies
 //      the image with bulk DMA instead of per-edge writes.
+//
+// Which physical DPU a triplet's image lands on is the PartitionPlan's
+// decision (coloring/partition_plan.hpp): every estimator-visible quantity
+// (reservoirs, seeds, corrections) is keyed by *triplet* index, so the
+// estimate is bit-identical under any placement — placement only moves the
+// modeled transfer padding and launch skew.  rebalance() re-plans from the
+// observed per-triplet loads and migrates resident samples between banks
+// with one modeled gather + scatter; with `rebalance_enabled` recount()
+// does this automatically whenever the projected scatter wire bytes shrink
+// by at least `rebalance_min_gain`.
 //
 // With pipelined ingestion enabled the modeled transfer + receive time of a
 // flush is not charged immediately: it is held "in flight" and overlapped
@@ -39,6 +49,7 @@
 
 #include "common/hash.hpp"
 #include "common/thread_pool.hpp"
+#include "coloring/partition_plan.hpp"
 #include "coloring/partitioner.hpp"
 #include "coloring/triplets.hpp"
 #include "graph/coo.hpp"
@@ -68,6 +79,19 @@ class PimTriangleCounter {
   /// the same result.
   TcResult recount();
 
+  /// Re-plans placement from the observed per-triplet loads (LPT: heaviest
+  /// first, chunked into ranks) and migrates resident samples to their new
+  /// banks via one modeled gather + scatter.  Returns false when the plan
+  /// is already in that order.  Migration invalidates the persistent sorted
+  /// arcs (the next recount is a full pass); the estimate is unchanged.
+  bool rebalance();
+
+  /// Installs an explicit triplet->DPU placement (validated bijection) and
+  /// migrates resident samples accordingly.  rebalance() is this applied to
+  /// the LPT plan; tests use it to assert placement invariance under
+  /// arbitrary permutations.
+  bool migrate_to(std::span<const std::uint32_t> dpu_of_triplet);
+
   /// Zeroes the accumulated phase times and transfer diagnostics.  An
   /// in-flight pipelined flush belongs to the pre-reset window, so it is
   /// settled first and cannot leak into the next measurement window.
@@ -81,9 +105,14 @@ class PimTriangleCounter {
   [[nodiscard]] const pim::PimSystem& system() const noexcept {
     return *system_;
   }
-  [[nodiscard]] const color::TripletTable& triplets() const noexcept {
-    return table_;
+  [[nodiscard]] const color::PartitionPlan& plan() const noexcept {
+    return plan_;
   }
+  [[nodiscard]] const color::TripletTable& triplets() const noexcept {
+    return plan_.table();
+  }
+  /// The effective config: auto color selection (num_colors == 0) is
+  /// resolved here.
   [[nodiscard]] const TcConfig& config() const noexcept { return config_; }
   [[nodiscard]] std::uint64_t sample_capacity() const noexcept {
     return capacity_;
@@ -91,11 +120,16 @@ class PimTriangleCounter {
   [[nodiscard]] const sketch::MisraGries& heavy_hitters() const noexcept {
     return global_mg_;
   }
-  /// Edges ever offered to each PIM core (the t_d of the estimator).
+  /// Edges ever offered to each PIM core, indexed by *triplet* (the t_d of
+  /// the estimator; map through plan().dpu_of() for the physical core).
   [[nodiscard]] std::vector<std::uint64_t> per_dpu_edges_seen() const;
   /// Host threads in the partitioning/staging pool.
   [[nodiscard]] std::uint32_t host_threads() const noexcept {
     return static_cast<std::uint32_t>(pool_->size());
+  }
+  /// Sample migrations performed so far (rebalance / migrate_to).
+  [[nodiscard]] std::uint32_t rebalances() const noexcept {
+    return rebalances_;
   }
 
  private:
@@ -109,26 +143,32 @@ class PimTriangleCounter {
   /// `host_overlap_s` of it under host work (pipelined ingest).
   void drain_in_flight(double host_overlap_s);
 
+  /// set_placement + sample migration; returns false when nothing changed.
+  bool apply_placement(std::span<const std::uint32_t> dpu_of_triplet);
+
   TcConfig config_;
   pim::PimSystemConfig pim_config_;
   std::unique_ptr<ThreadPool> pool_;
-  color::TripletTable table_;
+  color::PartitionPlan plan_;
   ColorHash hash_;
   std::unique_ptr<pim::PimSystem> system_;
+  /// Reservoir state per *triplet*; the plan maps triplets to banks.
   std::vector<sketch::ReservoirPolicy> reservoirs_;
   sketch::MisraGries global_mg_;
   std::uint64_t capacity_ = 0;
 
   // ---- persistent ingestion state (reused across batches) -----------------
-  /// Per-thread, per-DPU partition buffers filled by the streaming phase.
+  /// Per-thread, per-triplet partition buffers filled by the streaming phase.
   std::vector<std::vector<std::vector<Edge>>> partition_;
-  /// Per-DPU staging images (reservoir decisions materialized host-side).
+  /// Per-triplet staging images (reservoir decisions materialized host-side).
   std::vector<sketch::ReservoirStaging<Edge>> staging_;
-  /// Per-DPU drain cursor into partition_ ((thread, offset) per round).
+  /// Per-triplet drain cursor into partition_ ((thread, offset) per round).
   std::vector<std::pair<std::size_t, std::size_t>> cursors_;
+  /// Per-triplet batch totals (greedy placement input; reused).
+  std::vector<std::uint64_t> batch_totals_;
   /// Per-DPU staged payload bytes of the current round's scatter.
   std::vector<std::uint64_t> flush_bytes_;
-  /// Per-DPU cycle snapshot / offered-edge tally scratch (reused).
+  /// Per-DPU cycle snapshot / per-triplet offered-edge tally (reused).
   std::vector<double> cycles_before_;
   std::vector<std::uint64_t> received_;
   /// Modeled scatter+receive seconds of the last flush, not yet charged
@@ -139,6 +179,11 @@ class PimTriangleCounter {
   std::uint64_t edges_kept_ = 0;
   std::uint64_t edges_replicated_ = 0;
   std::uint64_t batch_counter_ = 0;
+  std::uint32_t rebalances_ = 0;
+  /// greedy_balance: placement is re-planned once, from the first non-empty
+  /// batch's observed loads (free: nothing is resident yet), then frozen
+  /// until an explicit/automatic rebalance.
+  bool placement_observed_ = false;
 
   /// Dynamic mode: true once every core holds a valid persistent sorted arc
   /// array (set by the first full count with persistence).

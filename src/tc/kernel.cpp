@@ -942,17 +942,13 @@ void clear_flags(Dpu& dpu, const KernelParams& p, std::uint64_t flags,
   });
 }
 
-/// Clamps the stream-buffer size so the worst-case simultaneous allocation
-/// (five buffers per tasklet plus the remap table) fits the scratchpad — a
-/// real kernel is sized like this at build time.
+/// Clamps the stream-buffer size into [4, max_wram_buffer_edges] — a safety
+/// net for callers driving the kernel directly; host configs are validated
+/// against the same bound up front, so they never hit the clamp.
 KernelParams clamp_buffers(const pim::Dpu& dpu, const KernelParams& in) {
   KernelParams params = in;
-  const std::uint64_t wram_budget =
-      dpu.config().wram_bytes -
-      MramLayout::kMaxRemap * 2 * sizeof(NodeId) -  // remap hash table
-      RegionCache::kSlots * sizeof(RegionEntry);    // sampled region index
-  const auto max_buffer = static_cast<std::uint32_t>(
-      wram_budget / (5ull * params.tasklets * sizeof(Edge)));
+  const std::uint32_t max_buffer =
+      max_wram_buffer_edges(dpu.config(), params.tasklets);
   params.buffer_edges = std::max(4u, std::min(params.buffer_edges, max_buffer));
   return params;
 }
@@ -974,6 +970,17 @@ void write_meta(Dpu& dpu, const KernelParams& p, const DpuMeta& meta) {
 }
 
 }  // namespace
+
+std::uint32_t max_wram_buffer_edges(const pim::PimSystemConfig& config,
+                                    std::uint32_t tasklets) noexcept {
+  const std::uint64_t statics =
+      MramLayout::kMaxRemap * 2 * sizeof(NodeId) +  // remap hash table
+      RegionCache::kSlots * sizeof(RegionEntry);    // sampled region index
+  if (config.wram_bytes <= statics || tasklets == 0) return 0;
+  // Worst case the kernels allocate five stream buffers per tasklet at once.
+  return static_cast<std::uint32_t>((config.wram_bytes - statics) /
+                                    (5ull * tasklets * sizeof(Edge)));
+}
 
 void run_count_kernel(pim::Dpu& dpu, const KernelParams& params_in) {
   const KernelParams params = clamp_buffers(dpu, params_in);

@@ -38,6 +38,14 @@ struct KernelParams {
   pim::KernelCostModel cost{};
 };
 
+/// Largest `wram_buffer_edges` for which the worst-case simultaneous WRAM
+/// allocation (five stream buffers per tasklet plus the static remap hash
+/// table and sampled region cache) fits the scratchpad — the bound a real
+/// kernel is sized against at build time.  Configs above it are rejected at
+/// validation instead of silently clamped.
+[[nodiscard]] std::uint32_t max_wram_buffer_edges(
+    const pim::PimSystemConfig& config, std::uint32_t tasklets) noexcept;
+
 /// Executes the full kernel.  Reads DpuMeta at offset 0 and writes back
 /// `triangle_count` (total over the whole sample) plus `num_regions`; when
 /// DpuMeta::kFlagPersistSorted is set, also persists S* and `sorted_size`.

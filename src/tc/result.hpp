@@ -1,7 +1,9 @@
 // Result of one PIM triangle-counting run.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/types.hpp"
 #include "pim/system.hpp"
@@ -38,6 +40,19 @@ struct TcResult {
   std::uint64_t max_dpu_edges = 0;     ///< load balance: max t_d
   std::uint64_t reservoir_overflows = 0;  ///< cores with t_d > M
   bool used_incremental = false;  ///< this recount took the incremental path
+
+  // ---- partition / placement diagnostics ----------------------------------
+  std::uint32_t num_colors = 0;  ///< resolved C (auto selection filled in)
+  std::string placement;         ///< placement policy name
+  double dpu_utilization = 0.0;  ///< cores used / machine max_dpus
+  /// max(t_d) / mean(t_d): the count phase is gated by the max, so this is
+  /// the headroom a perfectly uniform partition would recover.
+  double load_imbalance = 0.0;
+  /// Edges ever offered to cores of each triplet kind (1/2/3 distinct
+  /// colors, expected loads N/3N/6N), and how many cores are of that kind.
+  std::array<std::uint64_t, 3> kind_edges_seen{};
+  std::array<std::uint32_t, 3> kind_dpus{};
+  std::uint32_t rebalances = 0;  ///< sample migrations performed this session
 
   [[nodiscard]] TriangleCount rounded() const noexcept {
     return estimate <= 0 ? 0 : static_cast<TriangleCount>(estimate + 0.5);

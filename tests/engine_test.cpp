@@ -121,10 +121,63 @@ TEST(ConfigValidationTest, RejectsZeroWramBuffer) {
   EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
 }
 
+TEST(ConfigValidationTest, RejectsWramBufferBeyondScratchpadBudget) {
+  // The budget used to be a silent clamp; now an over-sized buffer is a
+  // config error with the actual bound in the message.
+  EngineConfig cfg = small_config();
+  cfg.wram_buffer_edges = 1 << 20;
+  try {
+    make_engine("pim", cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("wram_buffer_edges"),
+              std::string::npos);
+  }
+}
+
 TEST(ConfigValidationTest, RejectsDegenerateMisraGries) {
   EngineConfig cfg = small_config();
   cfg.misra_gries_enabled = true;
   cfg.mg_capacity = 0;
+  EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidationTest, RejectsMgTopAboveMgCapacity) {
+  // Remapping more nodes than Misra-Gries tracks silently degrades the
+  // summary; the config is rejected up front.
+  EngineConfig cfg = small_config();
+  cfg.misra_gries_enabled = true;
+  cfg.mg_capacity = 8;
+  cfg.mg_top = 9;
+  EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
+  cfg.mg_top = 8;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidationTest, AutoColorSelectionFillsTheMachine) {
+  // num_colors == 0 resolves to the largest C fitting pim.max_dpus: C = 23
+  // -> 2300 of 2560 DPUs (~90% utilization) on the default machine.
+  EngineConfig cfg = small_config();
+  cfg.num_colors = 0;
+  EXPECT_NO_THROW(cfg.validate());
+
+  cfg.pim.max_dpus = 120;
+  cfg.pim.mram_bytes = 4ull << 20;  // keep the session light
+  const CountReport r =
+      make_engine("pim", cfg)->count(graph::gen::complete(24));
+  EXPECT_EQ(r.num_colors, 8u);  // binom(10,3) = 120 cores exactly
+  EXPECT_EQ(r.num_units, 120u);
+  EXPECT_DOUBLE_EQ(r.dpu_utilization, 1.0);
+
+  // A machine too small for even C = 2 is rejected.
+  cfg.pim.max_dpus = 3;
+  cfg.pim.dpus_per_rank = 2;
+  EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
+}
+
+TEST(ConfigValidationTest, RejectsBadRebalanceGain) {
+  EngineConfig cfg = small_config();
+  cfg.rebalance_min_gain = 0.9;
   EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
 }
 
@@ -360,6 +413,30 @@ TEST(ReportTest, PimReportCarriesRankAwareTransferBreakdown) {
   const CountReport c = make_engine("cpu", cfg)->count(g);
   EXPECT_EQ(c.num_ranks, 0u);
   EXPECT_EQ(c.transfers.push_transfers, 0u);
+}
+
+TEST(ReportTest, PimReportCarriesPartitionDiagnostics) {
+  const graph::EdgeList g = test_graph(16);
+  EngineConfig cfg = small_config();
+  cfg.placement = color::PlacementPolicy::kGreedyBalance;
+  cfg.rebalance_enabled = true;
+  const CountReport r = make_engine("pim", cfg)->count(g);
+  EXPECT_EQ(r.num_colors, 4u);
+  EXPECT_EQ(r.placement, "greedy_balance");
+  EXPECT_GT(r.dpu_utilization, 0.0);
+  EXPECT_GE(r.load_imbalance, 1.0);
+  // C=4: 4 kind-1, 12 kind-2, 4 kind-3 cores; histogram covers every edge
+  // replica.
+  EXPECT_EQ(r.kind_units[0], 4u);
+  EXPECT_EQ(r.kind_units[1], 12u);
+  EXPECT_EQ(r.kind_units[2], 4u);
+  EXPECT_EQ(r.kind_edges_seen[0] + r.kind_edges_seen[1] + r.kind_edges_seen[2],
+            r.edges_replicated);
+
+  // CPU backends have no partition; the fields stay at their zeros.
+  const CountReport c = make_engine("cpu", cfg)->count(g);
+  EXPECT_EQ(c.num_colors, 0u);
+  EXPECT_TRUE(c.placement.empty());
 }
 
 TEST(ReportTest, PipelinedAndSerialSessionsAgreeBitForBit) {

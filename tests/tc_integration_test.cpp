@@ -12,6 +12,7 @@
 #include "graph/preprocess.hpp"
 #include "graph/reference_tc.hpp"
 #include "tc/host.hpp"
+#include "tc/kernel.hpp"
 
 namespace pimtc::tc {
 namespace {
@@ -517,10 +518,17 @@ TEST(TcIntegrationTest, LoadBalanceWithinTripletKinds) {
 
 // ---- configuration validation -------------------------------------------------------
 
-TEST(TcConfigTest, RejectsInvalidConfigs) {
-  EXPECT_THROW(PimTriangleCounter(exact_config(0), small_banks()),
-               std::invalid_argument);
+TEST(TcConfigTest, ZeroColorsAutoSelectsTheLargestFit) {
+  // num_colors == 0 fills the machine: the largest C with binom(C+2, 3)
+  // triplets fitting max_dpus (here 8 cores -> C = 2 -> 4 triplets).
+  pim::PimSystemConfig tiny = small_banks();
+  tiny.max_dpus = 8;
+  PimTriangleCounter counter(exact_config(0), tiny);
+  EXPECT_EQ(counter.config().num_colors, 2u);
+  EXPECT_EQ(counter.system().num_dpus(), 4u);
+}
 
+TEST(TcConfigTest, RejectsInvalidConfigs) {
   TcConfig bad_p = exact_config(2);
   bad_p.uniform_p = 0.0;
   EXPECT_THROW(PimTriangleCounter(bad_p, small_banks()),
@@ -532,6 +540,29 @@ TEST(TcConfigTest, RejectsInvalidConfigs) {
   TcConfig bad_tasklets = exact_config(2);
   bad_tasklets.tasklets = 0;
   EXPECT_THROW(PimTriangleCounter(bad_tasklets, small_banks()),
+               std::invalid_argument);
+
+  // Remapping more nodes than Misra-Gries tracks silently degrades; reject.
+  TcConfig bad_mg = exact_config(2);
+  bad_mg.misra_gries_enabled = true;
+  bad_mg.mg_capacity = 16;
+  bad_mg.mg_top = 17;
+  EXPECT_THROW(PimTriangleCounter(bad_mg, small_banks()),
+               std::invalid_argument);
+
+  // WRAM buffer validated against the scratchpad budget, not clamped.
+  TcConfig bad_buf = exact_config(2);
+  bad_buf.wram_buffer_edges =
+      max_wram_buffer_edges(small_banks(), bad_buf.tasklets) + 1;
+  EXPECT_THROW(PimTriangleCounter(bad_buf, small_banks()),
+               std::invalid_argument);
+  bad_buf.wram_buffer_edges = 0;
+  EXPECT_THROW(PimTriangleCounter(bad_buf, small_banks()),
+               std::invalid_argument);
+
+  TcConfig bad_gain = exact_config(2);
+  bad_gain.rebalance_min_gain = 0.5;
+  EXPECT_THROW(PimTriangleCounter(bad_gain, small_banks()),
                std::invalid_argument);
 
   // Too many colors for the machine.

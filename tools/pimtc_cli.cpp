@@ -18,6 +18,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "coloring/partition_plan.hpp"
 #include "engine/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -38,8 +39,10 @@ using namespace pimtc;
       "  pimtc generate --kind=<rmat|er|ba|community|road|paper:NAME>\n"
       "                 --edges=<n> --out=<file> [--seed=<s>]\n"
       "  pimtc stats    --graph=<file>\n"
-      "  pimtc count    --graph=<file> [--backend=<name>] [--colors=<C>]\n"
-      "                 [--p=<keep prob>] [--capacity=<edges/core>]\n"
+      "  pimtc count    --graph=<file> [--backend=<name>] [--colors=<C>|auto]\n"
+      "                 [--placement=identity|kind_interleave|greedy_balance]\n"
+      "                 [--rebalance] [--p=<keep prob>]\n"
+      "                 [--capacity=<edges/core>]\n"
       "                 [--misra-gries] [--mg-top=<t>] [--incremental]\n"
       "                 [--threads=<n>] [--dpus-per-rank=<n>]\n"
       "                 [--staging=<edges/core>] [--no-pipeline]\n"
@@ -162,7 +165,24 @@ int cmd_backends() {
 
 engine::EngineConfig config_from_args(const Args& args) {
   engine::EngineConfig cfg;
-  cfg.num_colors = static_cast<std::uint32_t>(args.num("colors", 8));
+  // "auto" (or 0) derives the largest C filling the machine.  Anything
+  // non-numeric other than "auto" is a typo, not a request for auto mode.
+  const std::string colors = args.str("colors", "8");
+  if (colors == "auto") {
+    cfg.num_colors = 0;
+  } else {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(colors.c_str(), &end, 10);
+    // strtoul silently wraps negatives; reject them with the parse errors.
+    if (colors[0] == '-' || end == colors.c_str() || *end != '\0') {
+      throw std::invalid_argument("--colors must be a number or 'auto', got '" +
+                                  colors + "'");
+    }
+    cfg.num_colors = static_cast<std::uint32_t>(parsed);
+  }
+  cfg.placement = color::placement_from_string(
+      args.str("placement", color::to_string(cfg.placement)));
+  cfg.rebalance_enabled = args.flag("rebalance");
   cfg.uniform_p = args.num("p", 1.0);
   cfg.sample_capacity_edges =
       static_cast<std::uint64_t>(args.num("capacity", 0));
@@ -219,6 +239,22 @@ void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
       static_cast<unsigned long long>(r.work.conversion_ops),
       static_cast<unsigned long long>(r.work.intersection_steps));
   std::printf(",\"host_threads\":%u", r.host_threads);
+  if (r.num_colors > 0) {
+    // Partition-planner diagnostics: per-kind load histogram (expected
+    // N/3N/6N per core of kind 1/2/3), imbalance, placement, rebalances.
+    std::printf(
+        ",\"partition\":{\"colors\":%u,\"placement\":\"%s\","
+        "\"dpu_utilization\":%.4g,\"load_imbalance\":%.4g,"
+        "\"rebalances\":%u,\"kind_load\":[",
+        r.num_colors, r.placement.c_str(), r.dpu_utilization,
+        r.load_imbalance, r.rebalances);
+    for (int k = 0; k < 3; ++k) {
+      std::printf("%s{\"kind\":%d,\"units\":%u,\"edges_seen\":%llu}",
+                  k ? "," : "", k + 1, r.kind_units[k],
+                  static_cast<unsigned long long>(r.kind_edges_seen[k]));
+    }
+    std::printf("]}");
+  }
   if (r.num_ranks > 0) {
     std::printf(
         ",\"transfers\":{\"ranks\":%u,"
@@ -269,6 +305,18 @@ void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
                 static_cast<unsigned long long>(r.max_unit_edges),
                 static_cast<unsigned long long>(r.reservoir_overflows));
   }
+  if (r.num_colors > 0) {
+    std::printf("partition:  C=%u (%u cores, %.0f%% of machine) | %s | "
+                "imbalance %.2fx | %u rebalances\n",
+                r.num_colors, r.num_units, r.dpu_utilization * 100.0,
+                r.placement.c_str(), r.load_imbalance, r.rebalances);
+    std::printf("kind load:  1:%llu / 2:%llu / 3:%llu edges on %u/%u/%u "
+                "cores (expected N/3N/6N per core)\n",
+                static_cast<unsigned long long>(r.kind_edges_seen[0]),
+                static_cast<unsigned long long>(r.kind_edges_seen[1]),
+                static_cast<unsigned long long>(r.kind_edges_seen[2]),
+                r.kind_units[0], r.kind_units[1], r.kind_units[2]);
+  }
   if (r.edges_replicated > 0) {
     std::printf("replicated: %llu edges (C x kept %llu of %llu streamed)\n",
                 static_cast<unsigned long long>(r.edges_replicated),
@@ -281,11 +329,7 @@ void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
               r.times.ingest_s * 1e3, r.times.count_s * 1e3,
               r.times.host_s * 1e3);
   if (r.num_ranks > 0) {
-    const double pad =
-        r.transfers.push_payload_bytes > 0
-            ? static_cast<double>(r.transfers.push_wire_bytes) /
-                  static_cast<double>(r.transfers.push_payload_bytes)
-            : 1.0;
+    const double pad = r.transfers.push_padding();
     std::printf("transfers:  %u ranks | %llu pushes, %.1f KB payload -> "
                 "%.1f KB wire (x%.2f pad) | %llu pulls | overlap saved "
                 "%.3f ms\n",
