@@ -2,6 +2,7 @@
 // coloring layout math.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 
 namespace pimtc {
@@ -48,6 +49,12 @@ namespace pimtc {
 [[nodiscard]] constexpr std::uint64_t round_up(std::uint64_t a,
                                                std::uint64_t b) noexcept {
   return ceil_div(a, b) * b;
+}
+
+/// ceil(log2(n)) for n >= 1; 0 for n <= 1.  Sort-pass and binary-search
+/// depth bounds in the kernel cost model.
+[[nodiscard]] constexpr std::uint32_t ceil_log2(std::uint64_t n) noexcept {
+  return n <= 1 ? 0 : static_cast<std::uint32_t>(64 - std::countl_zero(n - 1));
 }
 
 }  // namespace pimtc

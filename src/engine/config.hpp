@@ -66,6 +66,27 @@ struct EngineConfig {
   std::uint32_t mg_capacity = 1024;  ///< K: counters per host-thread summary
   std::uint32_t mg_top = 16;         ///< t: nodes remapped on the PIM cores
 
+  /// Degree-ordered remap (requires misra_gries_enabled): remap the top
+  /// min(mg_capacity, kMaxRemap) tracked nodes ordered by estimated degree
+  /// instead of only the top mg_top hubs, so sorted-region sizes
+  /// anti-correlate with degree and the adaptive intersection's gallop
+  /// triggers on hub edges.  Estimate-invariant: any ordering is a node-id
+  /// bijection (see DESIGN.md "Intersection strategy & degree ordering").
+  bool degree_ordered_remap = false;
+
+  /// Intersection strategy of the counting kernels: kAuto picks merge vs
+  /// block-gallop per intersection; kMerge/kGallop force one.  Estimates
+  /// are bit-identical under every policy — only modeled work moves.
+  tc::IntersectPolicy intersect = tc::IntersectPolicy::kAuto;
+
+  /// Auto-policy crossover margin: gallop when its modeled cost times this
+  /// factor undercuts the linear merge.  Must be >= 1.
+  std::uint32_t gallop_margin = 3;
+
+  /// WRAM RegionCache for the kernels' region lookups; false degrades every
+  /// lookup to the full-table MRAM binary search (ablation baseline).
+  bool region_cache = true;
+
   /// Per-stream WRAM staging buffer, in edges, for the counting kernel.
   std::uint32_t wram_buffer_edges = 64;
 

@@ -59,6 +59,16 @@ void EngineConfig::validate() const {
         ") exceeds mg_capacity (" + std::to_string(mg_capacity) +
         "): cannot remap more nodes than Misra-Gries tracks");
   }
+  if (degree_ordered_remap && !misra_gries_enabled) {
+    throw std::invalid_argument(
+        "EngineConfig: degree_ordered_remap requires misra_gries_enabled "
+        "(the ordering comes from the Misra-Gries degree estimates)");
+  }
+  if (gallop_margin == 0) {
+    throw std::invalid_argument(
+        "EngineConfig: gallop_margin must be >= 1 (auto-policy crossover "
+        "factor)");
+  }
   if (!(rebalance_min_gain >= 1.0)) {  // also rejects NaN
     throw std::invalid_argument(
         "EngineConfig: rebalance_min_gain must be >= 1");
@@ -90,6 +100,10 @@ tc::TcConfig EngineConfig::to_tc_config() const noexcept {
   cfg.misra_gries_enabled = misra_gries_enabled;
   cfg.mg_capacity = mg_capacity;
   cfg.mg_top = mg_top;
+  cfg.degree_ordered_remap = degree_ordered_remap;
+  cfg.intersect = intersect;
+  cfg.gallop_margin = gallop_margin;
+  cfg.region_cache = region_cache;
   cfg.wram_buffer_edges = wram_buffer_edges;
   cfg.staging_capacity_edges = staging_capacity_edges;
   cfg.pipelined_ingest = pipelined_ingest;

@@ -41,6 +41,14 @@ CountReport PimEngine::recount() {
   report.kind_edges_seen = r.kind_edges_seen;
   report.kind_units = r.kind_dpus;
   report.rebalances = r.rebalances;
+  report.kernel.intersect = r.intersect;
+  report.kernel.merge_isects = r.kernel.merge_isects;
+  report.kernel.gallop_isects = r.kernel.gallop_isects;
+  report.kernel.merge_picks = r.kernel.merge_picks;
+  report.kernel.gallop_probes = r.kernel.gallop_probes;
+  report.kernel.chunks_claimed = r.kernel.chunks_claimed;
+  report.kernel.instructions = r.kernel_instructions;
+  report.kernel.count_instructions = r.count_instructions;
 
   if (config_.misra_gries_enabled) {
     const sketch::MisraGries& mg = counter_.heavy_hitters();

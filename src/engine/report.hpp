@@ -60,6 +60,23 @@ struct HeavyHitter {
 /// Zero for backends without a transfer model.
 using TransferBreakdown = pim::TransferStats;
 
+/// Counting-kernel diagnostics of the adaptive intersection engine, summed
+/// over cores for the last recount (PIM backend; zeros elsewhere).  The
+/// merge/gallop split says how the per-intersection cost model resolved;
+/// `instructions` is the kernel-instruction total BENCH_kernel.json tracks.
+struct KernelStats {
+  std::string intersect;             ///< policy name ("auto"|"merge"|"gallop")
+  std::uint64_t merge_isects = 0;    ///< intersections resolved by merge
+  std::uint64_t gallop_isects = 0;   ///< intersections resolved by gallop
+  std::uint64_t merge_picks = 0;     ///< elements consumed by merge loops
+  std::uint64_t gallop_probes = 0;   ///< MRAM bursts of block binary searches
+  std::uint64_t chunks_claimed = 0;  ///< strided scan chunks claimed
+  std::uint64_t instructions = 0;    ///< kernel instructions this recount
+  /// Counting-phase instructions alone (cache build + lookups +
+  /// intersections); `instructions` additionally includes copy/sort/index.
+  std::uint64_t count_instructions = 0;
+};
+
 struct CountReport {
   /// Registry name of the backend that produced this report.
   std::string backend;
@@ -113,6 +130,9 @@ struct CountReport {
   std::array<std::uint64_t, 3> kind_edges_seen{};
   std::array<std::uint32_t, 3> kind_units{};
   std::uint32_t rebalances = 0;  ///< sample migrations performed this session
+
+  /// Adaptive-intersection kernel diagnostics (PIM backend).
+  KernelStats kernel;
 
   /// Misra-Gries top-t summary when the backend ran with it enabled.
   std::vector<HeavyHitter> heavy_hitters;

@@ -5,6 +5,7 @@
 
 #include "coloring/partition_plan.hpp"
 #include "pim/config.hpp"
+#include "tc/intersect.hpp"
 
 namespace pimtc::tc {
 
@@ -48,6 +49,33 @@ struct TcConfig {
   bool misra_gries_enabled = false;
   std::uint32_t mg_capacity = 1024;  ///< K: counters per host-thread summary
   std::uint32_t mg_top = 16;         ///< t: nodes remapped on the PIM cores
+
+  /// Degree-ordered remap (requires misra_gries_enabled): instead of only
+  /// the top `mg_top` hubs, freeze the remap table over the top
+  /// min(mg_capacity, MramLayout::kMaxRemap) tracked nodes *ordered by
+  /// estimated degree*, so higher-degree nodes get higher remapped ids and
+  /// sorted-region sizes anti-correlate with degree — hub-incident edges
+  /// then pair a tiny region with a huge one, which is exactly where the
+  /// adaptive intersection's gallop pays off.  Any ordering is a node-id
+  /// bijection, so estimates are bit-identical regardless of Misra-Gries
+  /// estimation error.
+  bool degree_ordered_remap = false;
+
+  /// Intersection strategy of the counting kernels (tc/intersect.hpp):
+  /// kAuto selects merge vs block-gallop per intersection from the cost
+  /// model; kMerge/kGallop force one.  Counts are bit-identical under every
+  /// policy — only modeled work moves.
+  IntersectPolicy intersect = IntersectPolicy::kAuto;
+
+  /// Auto-policy crossover margin: gallop when its modeled cost times this
+  /// factor undercuts the linear merge.  Must be >= 1; higher values keep
+  /// more intersections on the merge path.
+  std::uint32_t gallop_margin = 3;
+
+  /// WRAM RegionCache for the kernels' region lookups; false degrades every
+  /// lookup to the full-table MRAM binary search (ablation baseline — the
+  /// pre-cache kernel behavior).  Counts are identical either way.
+  bool region_cache = true;
 
   /// Per-stream WRAM staging buffer, in edges, for the counting kernel.
   std::uint32_t wram_buffer_edges = 64;

@@ -58,6 +58,14 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
         ") exceeds mg_capacity (" + std::to_string(config_.mg_capacity) +
         "): cannot remap more nodes than Misra-Gries tracks");
   }
+  if (config_.degree_ordered_remap && !config_.misra_gries_enabled) {
+    throw std::invalid_argument(
+        "TcConfig: degree_ordered_remap needs misra_gries_enabled (the "
+        "ordering comes from the Misra-Gries degree estimates)");
+  }
+  if (config_.gallop_margin == 0) {
+    throw std::invalid_argument("TcConfig: gallop_margin must be >= 1");
+  }
   // Lower bound 4 = the kernels' minimum burst; upper bound = the budget
   // the kernels would otherwise clamp to.  Validated, never silently moved.
   const std::uint32_t max_buffer =
@@ -425,12 +433,19 @@ TcResult PimTriangleCounter::recount() {
   for (const auto& r : reservoirs_) overflowed |= r.seen() > capacity_;
   const bool incremental = config_.incremental && sorted_valid_ && !overflowed;
 
-  // High-degree remap table (Misra-Gries top-t), broadcast to every core.
-  // Frozen once incremental state exists: the persistent sorted arcs were
-  // built under the old mapping.
-  if (config_.misra_gries_enabled && config_.mg_top > 0 && !sorted_valid_) {
-    frozen_remap_ = global_mg_.top(
-        std::min<std::size_t>(config_.mg_top, MramLayout::kMaxRemap));
+  // High-degree remap table, broadcast to every core and frozen once
+  // incremental state exists (the persistent sorted arcs were built under
+  // the old mapping).  Heavy-hitter mode remaps the top-t hubs; degree-
+  // ordered mode remaps every tracked node, ordered by estimated degree, so
+  // region sizes anti-correlate with degree (degree orientation).  top()
+  // returns highest-estimate first and remapped_id() descends with rank, so
+  // the order of the table *is* the degree order.
+  if (config_.misra_gries_enabled && !sorted_valid_) {
+    const std::size_t want =
+        config_.degree_ordered_remap
+            ? std::min<std::size_t>(config_.mg_capacity, MramLayout::kMaxRemap)
+            : std::min<std::size_t>(config_.mg_top, MramLayout::kMaxRemap);
+    if (want > 0) frozen_remap_ = global_mg_.top(want);
   }
   const std::vector<NodeId>& remap = frozen_remap_;
 
@@ -471,7 +486,14 @@ TcResult PimTriangleCounter::recount() {
   KernelParams params;
   params.tasklets = config_.tasklets;
   params.buffer_edges = config_.wram_buffer_edges;  // validated in range
+  params.intersect = config_.intersect;
+  params.gallop_margin = config_.gallop_margin;
+  params.region_cache = config_.region_cache;
   params.cost = config_.cost;
+  std::uint64_t instr_before = 0;
+  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+    instr_before += system_->dpu(d).total_instructions();
+  }
   if (incremental) {
     system_->launch(
         [&params](pim::Dpu& dpu) { run_incremental_kernel(dpu, params); },
@@ -481,6 +503,10 @@ TcResult PimTriangleCounter::recount() {
         [&params](pim::Dpu& dpu) { run_count_kernel(dpu, params); },
         &pim::PimPhaseTimes::count_s);
     sorted_valid_ = config_.incremental && !overflowed;
+  }
+  std::uint64_t instr_after = 0;
+  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+    instr_after += system_->dpu(d).total_instructions();
   }
 
   // Gather per-core results in one rank-parallel pull.
@@ -504,6 +530,16 @@ TcResult PimTriangleCounter::recount() {
   result.dpu_utilization = static_cast<double>(num_dpus) /
                            static_cast<double>(pim_config_.max_dpus);
   result.rebalances = rebalances_;
+  result.kernel_instructions = instr_after - instr_before;
+  result.intersect = to_string(config_.intersect);
+  for (const DpuMeta& m : metas) {
+    result.kernel.merge_picks += m.merge_picks;
+    result.kernel.gallop_probes += m.gallop_probes;
+    result.kernel.merge_isects += m.merge_isects;
+    result.kernel.gallop_isects += m.gallop_isects;
+    result.kernel.chunks_claimed += m.chunks_claimed;
+    result.count_instructions += m.count_instructions;
+  }
 
   double total_scaled = 0.0;
   double mono_scaled = 0.0;

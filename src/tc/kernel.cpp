@@ -1,123 +1,20 @@
 #include "tc/kernel.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "common/hash.hpp"
 #include "common/math_util.hpp"
+#include "tc/intersect.hpp"
 
 namespace pimtc::tc {
 namespace {
 
 using pim::Dpu;
 using pim::Tasklet;
-
-/// ceil(log2(n)) for n >= 1.
-std::uint32_t ceil_log2(std::uint64_t n) {
-  return n <= 1 ? 0 : static_cast<std::uint32_t>(64 - std::countl_zero(n - 1));
-}
-
-// ---------------------------------------------------------------------------
-// WRAM-buffered MRAM streams
-// ---------------------------------------------------------------------------
-
-/// Buffered sequential MRAM reader for trivially copyable records: models a
-/// tasklet streaming a region of the bank through a WRAM buffer.  DMA is
-/// charged per refill.
-template <typename T>
-class StreamReader {
- public:
-  StreamReader(Tasklet& t, std::span<T> buf, std::uint64_t base,
-               std::uint64_t begin_idx, std::uint64_t end_idx)
-      : t_(&t),
-        buf_(buf),
-        base_(base),
-        next_fetch_(begin_idx),
-        buf_base_(begin_idx),
-        end_(end_idx) {}
-
-  bool next(T& out) {
-    if (cursor_ >= filled_) {
-      if (next_fetch_ >= end_) return false;
-      refill();
-    }
-    out = buf_[cursor_++];
-    return true;
-  }
-
-  /// Absolute index (within the MRAM array) of the record most recently
-  /// returned by next().
-  [[nodiscard]] std::uint64_t last_index() const noexcept {
-    return buf_base_ + cursor_ - 1;
-  }
-
- private:
-  void refill() {
-    const std::uint64_t count =
-        std::min<std::uint64_t>(buf_.size(), end_ - next_fetch_);
-    t_->mram_read(base_ + next_fetch_ * sizeof(T), buf_.data(),
-                  count * sizeof(T));
-    buf_base_ = next_fetch_;
-    next_fetch_ += count;
-    filled_ = static_cast<std::size_t>(count);
-    cursor_ = 0;
-  }
-
-  Tasklet* t_;
-  std::span<T> buf_;
-  std::uint64_t base_;
-  std::uint64_t next_fetch_;
-  std::uint64_t buf_base_;
-  std::uint64_t end_;
-  std::size_t cursor_ = 0;
-  std::size_t filled_ = 0;
-};
-
-using EdgeReader = StreamReader<Edge>;
-
-/// Buffered sequential MRAM writer.
-template <typename T>
-class StreamWriter {
- public:
-  StreamWriter(Tasklet& t, std::span<T> buf, std::uint64_t base,
-               std::uint64_t begin_idx)
-      : t_(&t), buf_(buf), base_(base), pos_(begin_idx) {}
-
-  void put(const T& value) {
-    buf_[cursor_++] = value;
-    if (cursor_ == buf_.size()) flush();
-  }
-
-  void flush() {
-    if (cursor_ == 0) return;
-    t_->mram_write(base_ + pos_ * sizeof(T), buf_.data(), cursor_ * sizeof(T));
-    pos_ += cursor_;
-    cursor_ = 0;
-  }
-
- private:
-  Tasklet* t_;
-  std::span<T> buf_;
-  std::uint64_t base_;
-  std::uint64_t pos_;
-  std::size_t cursor_ = 0;
-};
-
-/// Contiguous block [begin, end) of `n` items owned by worker `id` of `num`.
-struct Block {
-  std::uint64_t begin;
-  std::uint64_t end;
-};
-
-Block block_of(std::uint64_t n, std::uint32_t id, std::uint32_t num) {
-  const std::uint64_t base = n / num;
-  const std::uint64_t rem = n % num;
-  const std::uint64_t begin = id * base + std::min<std::uint64_t>(id, rem);
-  return {begin, begin + base + (id < rem ? 1 : 0)};
-}
 
 // ---------------------------------------------------------------------------
 // High-degree remap table (WRAM open-addressing hash, Section 3.5)
@@ -378,6 +275,12 @@ std::uint64_t build_regions(Dpu& dpu, const KernelParams& p,
                             std::uint64_t sorted, std::uint64_t n,
                             std::uint64_t reg) {
   if (n == 0) return 0;
+  // RegionEntry.begin is 32-bit; the kernel entry points reject capacities
+  // whose arc arrays could exceed this, so the cast below cannot truncate.
+  if (n - 1 > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::logic_error(
+        "build_regions: record index overflows RegionEntry.begin");
+  }
   std::vector<std::uint64_t> counts(p.tasklets, 0);
 
   dpu.wram().reset();
@@ -440,228 +343,64 @@ std::uint64_t build_regions(Dpu& dpu, const KernelParams& p,
   return prefix[p.tasklets];
 }
 
-/// Binary search over the MRAM region table: index of the first region with
-/// node >= key.  Each probe is an 8-byte DMA read.
-std::uint64_t lower_bound_region(Tasklet& t, const KernelParams& p,
-                                 std::uint64_t reg, std::uint64_t num_regions,
-                                 NodeId key) {
-  std::uint64_t lo = 0;
-  std::uint64_t hi = num_regions;
-  std::uint64_t instr = 0;
-  while (lo < hi) {
-    const std::uint64_t mid = lo + (hi - lo) / 2;
-    const auto entry =
-        t.mram_read_t<RegionEntry>(reg + mid * sizeof(RegionEntry));
-    if (entry.node < key) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-    instr += p.cost.binary_search_step;
-  }
-  t.instr(instr);
-  return lo;
-}
-
-/// Returns the start of `key`'s region in the sorted buffer, or ~0 if the
-/// node has no region.
-std::uint64_t find_region_begin(Tasklet& t, const KernelParams& p,
-                                std::uint64_t reg, std::uint64_t num_regions,
-                                NodeId key) {
-  const std::uint64_t r = lower_bound_region(t, p, reg, num_regions, key);
-  if (r >= num_regions) return ~0ull;
-  const auto entry = t.mram_read_t<RegionEntry>(reg + r * sizeof(RegionEntry));
-  t.instr(p.cost.binary_search_step);
-  return entry.node == key ? entry.begin : ~0ull;
-}
-
-/// Shared WRAM cache of every k-th region-table entry.  A lookup binary
-/// searches the cache with WRAM-speed instructions, leaving only ~log2(k)
-/// MRAM probes inside the narrowed window — the real kernels keep exactly
-/// such a sampled index resident to avoid DMA-bound searches.
-class RegionCache {
- public:
-  static constexpr std::uint64_t kSlots = 2048;  // 16 KB of WRAM
-
-  /// Streams the region table once (tasklet-0 boot work) and keeps every
-  /// stride-th entry.  Owns its storage like the remap table: it models a
-  /// statically allocated WRAM structure, budgeted in clamp_buffers().
-  RegionCache(Dpu& dpu, const KernelParams& p, std::uint64_t reg,
-              std::uint64_t num_regions)
-      : num_regions_(num_regions) {
-    if (num_regions == 0) return;
-    stride_ = ceil_div(num_regions, kSlots);
-    cache_.resize(ceil_div(num_regions, stride_));
-    dpu.wram().reset();
-    dpu.parallel(p.tasklets, [&](Tasklet& t) {
-      // Each tasklet streams a contiguous block of the table through a WRAM
-      // buffer and keeps the stride-aligned entries — sequential DMA, not
-      // per-entry bursts.
-      const Block blk = block_of(num_regions, t.id(), p.tasklets);
-      if (blk.begin >= blk.end) return;
-      auto buf = dpu.wram().alloc<RegionEntry>(p.buffer_edges * 2);
-      StreamReader<RegionEntry> reader(t, buf, reg, blk.begin, blk.end);
-      RegionEntry entry;
-      std::uint64_t instr = 0;
-      while (reader.next(entry)) {
-        const std::uint64_t i = reader.last_index();
-        if (i % stride_ == 0) cache_[i / stride_] = entry;
-        instr += 2;
-      }
-      t.instr(instr);
-    });
-  }
-
-  /// Region-index window [lo, hi) that must contain `key`, if present.
-  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> window(
-      NodeId key, std::uint64_t& instr) const {
-    if (cache_.empty()) return {0, num_regions_};
-    // upper_bound over the sampled nodes (WRAM-resident, cheap).
-    std::size_t lo = 0;
-    std::size_t hi = cache_.size();
-    while (lo < hi) {
-      const std::size_t mid = lo + (hi - lo) / 2;
-      if (cache_[mid].node <= key) {
-        lo = mid + 1;
-      } else {
-        hi = mid;
-      }
-      instr += 3;
-    }
-    const std::uint64_t begin = lo == 0 ? 0 : (lo - 1) * stride_;
-    const std::uint64_t end =
-        std::min<std::uint64_t>(num_regions_, lo * stride_ + 1);
-    return {begin, end};
-  }
-
- private:
-  std::vector<RegionEntry> cache_;
-  std::uint64_t stride_ = 1;
-  std::uint64_t num_regions_ = 0;
-};
-
-/// A region [begin, end) of the sorted buffer (all records sharing one
-/// first endpoint).
-struct Region {
-  std::uint64_t begin = 0;
-  std::uint64_t end = 0;
-  [[nodiscard]] bool found() const noexcept { return begin != ~0ull; }
-  [[nodiscard]] std::uint64_t size() const noexcept { return end - begin; }
-};
-
-/// Binary search restricted to a cache-provided window.
-std::uint64_t lower_bound_region_window(Tasklet& t, const KernelParams& p,
-                                        std::uint64_t reg, NodeId key,
-                                        std::uint64_t lo, std::uint64_t hi) {
-  std::uint64_t instr = 0;
-  while (lo < hi) {
-    const std::uint64_t mid = lo + (hi - lo) / 2;
-    const auto entry =
-        t.mram_read_t<RegionEntry>(reg + mid * sizeof(RegionEntry));
-    if (entry.node < key) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-    instr += p.cost.binary_search_step;
-  }
-  t.instr(instr);
-  return lo;
-}
-
-/// Region bounds of `key` (end = next region's begin, or n), using the WRAM
-/// region cache to keep MRAM probes at ~log2(stride).
-Region find_region(Tasklet& t, const KernelParams& p, std::uint64_t reg,
-                   std::uint64_t num_regions, NodeId key, std::uint64_t n,
-                   const RegionCache& cache) {
-  std::uint64_t instr = 0;
-  const auto [w_lo, w_hi] = cache.window(key, instr);
-  t.instr(instr);
-
-  // Narrow window (fine-grained cache): fetch the whole window plus the
-  // successor entry in one burst and resolve in WRAM.
-  if (w_hi - w_lo <= 6) {
-    RegionEntry win[8] = {};
-    const std::uint64_t fetch =
-        std::min<std::uint64_t>(w_hi - w_lo + 1, num_regions - w_lo);
-    t.mram_read(reg + w_lo * sizeof(RegionEntry), win,
-                fetch * sizeof(RegionEntry));
-    t.instr(p.cost.binary_search_step + fetch * 2);
-    for (std::uint64_t i = 0; i < fetch; ++i) {
-      if (win[i].node == key) {
-        const std::uint64_t end =
-            (i + 1 < fetch) ? win[i + 1].begin
-            : (w_lo + i + 1 < num_regions)
-                ? t.mram_read_t<RegionEntry>(reg + (w_lo + i + 1) *
-                                                       sizeof(RegionEntry))
-                      .begin
-                : n;
-        return {win[i].begin, end};
-      }
-    }
-    return {~0ull, ~0ull};
-  }
-
-  const std::uint64_t r =
-      lower_bound_region_window(t, p, reg, key, w_lo, w_hi);
-  if (r >= num_regions) return {~0ull, ~0ull};
-  // Fetch entries r and r+1 in one 16-byte burst (region end = next begin).
-  RegionEntry pair[2] = {};
-  const std::size_t fetch = r + 1 < num_regions ? 2 : 1;
-  t.mram_read(reg + r * sizeof(RegionEntry), pair,
-              fetch * sizeof(RegionEntry));
-  t.instr(p.cost.binary_search_step);
-  if (pair[0].node != key) return {~0ull, ~0ull};
-  return {pair[0].begin, fetch == 2 ? pair[1].begin : n};
-}
-
 // ---------------------------------------------------------------------------
 // Full counting phase (Section 3.4)
 // ---------------------------------------------------------------------------
 
+/// Edge iterator over the canonical sorted sample: for every edge (u,v),
+/// intersect the remainder of u's region with v's full region through the
+/// shared adaptive machinery (tc/intersect.hpp) — RegionCache-backed
+/// lookups, merge/gallop selection, strided hub-spreading chunks.
 std::uint64_t count_full(Dpu& dpu, const KernelParams& p, std::uint64_t sorted,
                          std::uint64_t n, std::uint64_t reg,
-                         std::uint64_t num_regions) {
+                         std::uint64_t num_regions, IntersectTally& tally) {
   std::vector<std::uint64_t> partial(p.tasklets, 0);
+  std::vector<IntersectTally> tallies(p.tasklets);
+
+  const RegionCache cache(dpu, p.tasklets, p.buffer_edges, reg,
+                          num_regions, p.region_cache);
 
   dpu.wram().reset();
   dpu.parallel(p.tasklets, [&](Tasklet& t) {
-    const Block blk = block_of(n, t.id(), p.tasklets);
-    if (blk.begin >= blk.end) return;
     auto scan_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
     auto u_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
     auto v_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
 
-    EdgeReader scan(t, scan_buf, sorted, blk.begin, blk.end);
-    Edge e;
+    IntersectTally& tl = tallies[t.id()];
+    const std::uint64_t num_chunks = ceil_div(n, kIntersectChunkEdges);
     std::uint64_t count = 0;
     std::uint64_t instr = 0;
-    while (scan.next(e)) {
-      instr += p.cost.loop_overhead;
-      if (e.u == e.v) continue;  // defensive: self loops count nothing
-      const std::uint64_t v_begin =
-          find_region_begin(t, p, reg, num_regions, e.v);
-      if (v_begin == ~0ull) continue;
-
-      // Merge: edges after (u,v) in u's region  x  v's region.  Streams
-      // self-terminate when the first endpoint changes.
-      EdgeReader stream_u(t, u_buf, sorted, scan.last_index() + 1, n);
-      EdgeReader stream_v(t, v_buf, sorted, v_begin, n);
-      Edge eu;
-      Edge ev;
-      bool has_u = stream_u.next(eu) && eu.u == e.u;
-      bool has_v = stream_v.next(ev) && ev.u == e.v;
-      while (has_u && has_v) {
-        instr += p.cost.count_merge_step;
-        if (eu.v == ev.v) {
-          ++count;
-          has_u = stream_u.next(eu) && eu.u == e.u;
-          has_v = stream_v.next(ev) && ev.u == e.v;
-        } else if (eu.v < ev.v) {
-          has_u = stream_u.next(eu) && eu.u == e.u;
-        } else {
-          has_v = stream_v.next(ev) && ev.u == e.v;
+    // The region of the current scan u, reused while u does not change
+    // (regions are contiguous in the sorted scan, so the lookup amortizes
+    // to one per distinct first endpoint).
+    NodeId cur_u = kInvalidNode;
+    Region ru;
+    for (std::uint64_t chunk_i = t.id(); chunk_i < num_chunks;
+         chunk_i += p.tasklets) {
+      ++tl.chunks_claimed;
+      const std::uint64_t c_lo = chunk_i * kIntersectChunkEdges;
+      const std::uint64_t c_hi = std::min(n, c_lo + kIntersectChunkEdges);
+      EdgeReader scan(t, scan_buf, sorted, c_lo, c_hi);
+      Edge e;
+      while (scan.next(e)) {
+        instr += p.cost.loop_overhead;
+        if (e.u == e.v) continue;  // defensive: self loops count nothing
+        if (e.u != cur_u) {
+          cur_u = e.u;
+          ru = find_region(t, p.cost, reg, num_regions, e.u, n, cache);
         }
+        if (!ru.found()) continue;  // cannot happen: e itself is in `sorted`
+        const Region rv =
+            find_region(t, p.cost, reg, num_regions, e.v, n, cache);
+        if (!rv.found()) continue;
+
+        // Edges after (u,v) in u's region x v's full region; every common
+        // second endpoint w closes the triangle u < v < w.
+        const Region u_rest{scan.last_index() + 1, ru.end};
+        intersect_regions(t, p.cost, p.intersect, p.gallop_margin, sorted,
+                          u_rest, rv, u_buf, v_buf, tl, instr,
+                          [&](std::uint64_t, const Edge&, std::uint64_t,
+                              const Edge&) { ++count; });
       }
     }
     partial[t.id()] = count;
@@ -670,6 +409,7 @@ std::uint64_t count_full(Dpu& dpu, const KernelParams& p, std::uint64_t sorted,
 
   std::uint64_t total = 0;
   for (const std::uint64_t c : partial) total += c;
+  for (const IntersectTally& tl : tallies) tally += tl;
   dpu.serial_instr(p.tasklets * 2ull);
   return total;
 }
@@ -769,19 +509,22 @@ void merge_with_flags(Dpu& dpu, const KernelParams& p, std::uint64_t sorted,
 }
 
 /// Counts new triangles over the merged arc array: for each new canonical
-/// edge e = (u,v), merge the full adjacency regions of u and v; every common
-/// neighbor w closes a triangle, counted iff each of the other two edges is
-/// old or a lexicographically smaller new edge — every new triangle lands
-/// exactly once, at its largest new edge.  `n` and `n_b` are arc counts;
-/// reversed batch arcs are skipped so each new edge is processed once.
+/// edge e = (u,v), intersect the full adjacency regions of u and v through
+/// the shared adaptive machinery; every common neighbor w closes a
+/// triangle, counted iff each of the other two edges is old or a
+/// lexicographically smaller new edge — every new triangle lands exactly
+/// once, at its largest new edge.  `n` and `n_b` are arc counts; reversed
+/// batch arcs are skipped so each new edge is processed once.
 std::uint64_t count_incremental(Dpu& dpu, const KernelParams& p,
                                 std::uint64_t sorted, std::uint64_t n,
                                 std::uint64_t flags, std::uint64_t reg,
                                 std::uint64_t num_regions, std::uint64_t batch,
-                                std::uint64_t n_b) {
+                                std::uint64_t n_b, IntersectTally& tally) {
   std::vector<std::uint64_t> partial(p.tasklets, 0);
+  std::vector<IntersectTally> tallies(p.tasklets);
 
-  const RegionCache cache(dpu, p, reg, num_regions);
+  const RegionCache cache(dpu, p.tasklets, p.buffer_edges, reg,
+                          num_regions, p.region_cache);
 
   dpu.wram().reset();
   dpu.parallel(p.tasklets, [&](Tasklet& t) {
@@ -789,130 +532,45 @@ std::uint64_t count_incremental(Dpu& dpu, const KernelParams& p,
     auto u_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
     auto v_buf = dpu.wram().alloc<Edge>(p.buffer_edges);
 
-    // Strided chunks (round-robin, 16 arcs each) instead of one contiguous
-    // block per tasklet: the batch is sorted, so a hub's arcs are
-    // contiguous and a static block split would hand one tasklet all the
-    // expensive hub queries (real kernels pull chunks from a shared work
-    // counter for the same reason).
-    constexpr std::uint64_t kChunk = 16;
-    const std::uint64_t num_chunks = ceil_div(n_b, kChunk);
+    IntersectTally& tl = tallies[t.id()];
+    const std::uint64_t num_chunks = ceil_div(n_b, kIntersectChunkEdges);
     std::uint64_t count = 0;
     std::uint64_t instr = 0;
     for (std::uint64_t chunk_i = t.id(); chunk_i < num_chunks;
          chunk_i += p.tasklets) {
-    const std::uint64_t c_lo = chunk_i * kChunk;
-    const std::uint64_t c_hi = std::min(n_b, c_lo + kChunk);
-    EdgeReader scan(t, scan_buf, batch, c_lo, c_hi);
-    Edge e;
-    while (scan.next(e)) {
-      instr += p.cost.loop_overhead;
-      if (e.u >= e.v) continue;  // process each new edge once (canonical arc)
-      const Region ru = find_region(t, p, reg, num_regions, e.u, n, cache);
-      if (!ru.found()) continue;  // cannot happen: e itself is in S*
-      const Region rv = find_region(t, p, reg, num_regions, e.v, n, cache);
-      if (!rv.found()) continue;
+      ++tl.chunks_claimed;
+      const std::uint64_t c_lo = chunk_i * kIntersectChunkEdges;
+      const std::uint64_t c_hi = std::min(n_b, c_lo + kIntersectChunkEdges);
+      EdgeReader scan(t, scan_buf, batch, c_lo, c_hi);
+      Edge e;
+      while (scan.next(e)) {
+        instr += p.cost.loop_overhead;
+        if (e.u >= e.v) continue;  // process each new edge once
+        const Region ru =
+            find_region(t, p.cost, reg, num_regions, e.u, n, cache);
+        if (!ru.found()) continue;  // cannot happen: e itself is in S*
+        const Region rv =
+            find_region(t, p.cost, reg, num_regions, e.v, n, cache);
+        if (!rv.found()) continue;
 
-      // Adaptive intersection: hub-incident edges pair a tiny region with a
-      // huge one, where a linear merge would walk the hub's full adjacency.
-      // Binary-searching each element of the small region into the large
-      // one costs small * log(large) instead.
-      const Region& small = ru.size() <= rv.size() ? ru : rv;
-      const Region& large = ru.size() <= rv.size() ? rv : ru;
-      const std::uint64_t gallop_cost =
-          small.size() * (ceil_log2(large.size() + 1) + 2);
-      if (gallop_cost * 3 < small.size() + large.size()) {
-        EdgeReader stream_s(t, u_buf, sorted, small.begin, small.end);
-        Edge es;
-        while (stream_s.next(es)) {
-          const NodeId w = es.v;
-          // lower_bound on the second endpoint within the large region;
-          // each probe fetches an 8-edge block, resolving three levels per
-          // DMA burst (the fixed setup cost dominates tiny reads).
-          std::uint64_t lo = large.begin;
-          std::uint64_t hi = large.end;
-          std::uint64_t probes = 0;
-          Edge block[8];
-          while (hi - lo > 8) {
-            const std::uint64_t mid = lo + (hi - lo) / 2;
-            const std::uint64_t b =
-                std::min(std::max(mid, lo + 4), hi - 4) - 4;
-            t.mram_read(sorted + b * sizeof(Edge), block, sizeof(block));
-            if (block[0].v >= w) {
-              hi = b + 1;
-            } else if (block[7].v < w) {
-              lo = b + 8;
-            } else {
-              // Resolve within the block.
-              lo = b;
-              for (int i = 7; i >= 0; --i) {
-                if (block[i].v < w) {
-                  lo = b + i + 1;
-                  break;
-                }
-              }
-              hi = lo;
-            }
-            ++probes;
-          }
-          instr += probes * (p.cost.binary_search_step + 8);
-          if (hi != lo) {
-            // Final linear resolve over the <= 8 remaining entries.
-            const std::uint64_t fetch = hi - lo;
-            t.mram_read(sorted + lo * sizeof(Edge), block,
-                        fetch * sizeof(Edge));
-            instr += p.cost.binary_search_step + fetch;
-            std::uint64_t i = 0;
-            while (i < fetch && block[i].v < w) ++i;
-            lo += i;
-          }
-          instr += p.cost.loop_overhead;
-          if (lo >= large.end) continue;
-          const Edge m = t.mram_read_t<Edge>(sorted + lo * sizeof(Edge));
-          instr += p.cost.binary_search_step;
-          if (m.v != w) continue;
-          const auto fm = t.mram_read_t<std::uint8_t>(flags + lo);
-          const auto fs =
-              t.mram_read_t<std::uint8_t>(flags + stream_s.last_index());
-          const bool blocked_s = (fs != 0) && e < es.canonical();
-          const bool blocked_m = (fm != 0) && e < m.canonical();
-          if (!blocked_s && !blocked_m) ++count;
-          instr += 4;
-        }
-        continue;
+        // Triangle (e.u, e.v, w) with w the matched second endpoint; e is
+        // new by construction.  Count here only if neither other edge is a
+        // lexicographically larger new edge (that edge's own pass owns the
+        // triangle).  Matches are rare, so new-flags are fetched lazily per
+        // match instead of streamed alongside the edges.
+        intersect_regions(
+            t, p.cost, p.intersect, p.gallop_margin, sorted, ru, rv, u_buf,
+            v_buf, tl, instr,
+            [&](std::uint64_t ia, const Edge& ea, std::uint64_t ib,
+                const Edge& eb) {
+              const auto fa = t.mram_read_t<std::uint8_t>(flags + ia);
+              const auto fb = t.mram_read_t<std::uint8_t>(flags + ib);
+              const bool blocked_a = (fa != 0) && e < ea.canonical();
+              const bool blocked_b = (fb != 0) && e < eb.canonical();
+              if (!blocked_a && !blocked_b) ++count;
+              instr += 4;
+            });
       }
-
-      EdgeReader stream_u(t, u_buf, sorted, ru.begin, ru.end);
-      EdgeReader stream_v(t, v_buf, sorted, rv.begin, rv.end);
-
-      Edge eu;
-      Edge ev;
-      bool has_u = stream_u.next(eu);
-      bool has_v = stream_v.next(ev);
-      while (has_u && has_v) {
-        instr += p.cost.count_merge_step;
-        if (eu.v == ev.v) {
-          // Triangle (e.u, e.v, w) with w = eu.v; e is new by construction.
-          // Count here only if neither other edge is a lexicographically
-          // larger new edge (that edge's own pass owns the triangle).
-          // Matches are rare, so new-flags are fetched lazily per match
-          // instead of streamed alongside the edges.
-          const auto fu =
-              t.mram_read_t<std::uint8_t>(flags + stream_u.last_index());
-          const auto fv =
-              t.mram_read_t<std::uint8_t>(flags + stream_v.last_index());
-          const bool blocked_u = (fu != 0) && e < eu.canonical();
-          const bool blocked_v = (fv != 0) && e < ev.canonical();
-          if (!blocked_u && !blocked_v) ++count;
-          instr += 4;
-          has_u = stream_u.next(eu);
-          has_v = stream_v.next(ev);
-        } else if (eu.v < ev.v) {
-          has_u = stream_u.next(eu);
-        } else {
-          has_v = stream_v.next(ev);
-        }
-      }
-    }
     }
     partial[t.id()] = count;
     t.instr(instr);
@@ -920,6 +578,7 @@ std::uint64_t count_incremental(Dpu& dpu, const KernelParams& p,
 
   std::uint64_t total = 0;
   for (const std::uint64_t c : partial) total += c;
+  for (const IntersectTally& tl : tallies) tally += tl;
   dpu.serial_instr(p.tasklets * 2ull);
   return total;
 }
@@ -959,6 +618,11 @@ DpuMeta read_meta(Dpu& dpu, const KernelParams& p) {
     meta = t.mram_read_t<DpuMeta>(MramLayout::kMetaOffset);
     t.instr(p.cost.loop_overhead);
   });
+  if (meta.sample_capacity > MramLayout::kMaxCapacityEdges) {
+    throw std::logic_error(
+        "counting kernel: sample_capacity exceeds the 32-bit region index "
+        "range (MramLayout::kMaxCapacityEdges)");
+  }
   return meta;
 }
 
@@ -967,6 +631,16 @@ void write_meta(Dpu& dpu, const KernelParams& p, const DpuMeta& meta) {
     t.mram_write_t(MramLayout::kMetaOffset, meta);
     t.instr(p.cost.loop_overhead);
   });
+}
+
+void store_tally(DpuMeta& meta, const IntersectTally& tally,
+                 std::uint64_t count_instr) {
+  meta.merge_picks = tally.merge_picks;
+  meta.gallop_probes = tally.gallop_probes;
+  meta.merge_isects = tally.merge_isects;
+  meta.gallop_isects = tally.gallop_isects;
+  meta.chunks_claimed = tally.chunks_claimed;
+  meta.count_instructions = count_instr;
 }
 
 }  // namespace
@@ -992,6 +666,7 @@ void run_count_kernel(pim::Dpu& dpu, const KernelParams& params_in) {
     meta.triangle_count = 0;
     meta.num_regions = 0;
     meta.sorted_size = 0;
+    store_tally(meta, IntersectTally{}, 0);
     if (meta.flags & DpuMeta::kFlagPersistSorted) {
       // An empty persisted arc array is valid: without this flag a core
       // that received no edges before the first count would reject every
@@ -1014,7 +689,11 @@ void run_count_kernel(pim::Dpu& dpu, const KernelParams& params_in) {
   const std::uint64_t reg = MramLayout::region_offset(cap);
   const std::uint64_t regions = build_regions(dpu, params, sorted, n, reg);
   meta.num_regions = regions;
-  meta.triangle_count = count_full(dpu, params, sorted, n, reg, regions);
+  IntersectTally tally;
+  const std::uint64_t instr0 = dpu.total_instructions();
+  meta.triangle_count =
+      count_full(dpu, params, sorted, n, reg, regions, tally);
+  store_tally(meta, tally, dpu.total_instructions() - instr0);
 
   if (meta.flags & DpuMeta::kFlagPersistSorted) {
     // Materialize the persistent arc array S* (both orientations of every
@@ -1048,6 +727,7 @@ void run_incremental_kernel(pim::Dpu& dpu, const KernelParams& params_in) {
   }
   const std::uint64_t n_b = n - n_old;
   if (n_b == 0) {
+    store_tally(meta, IntersectTally{}, 0);
     write_meta(dpu, params, meta);
     return;
   }
@@ -1084,9 +764,12 @@ void run_incremental_kernel(pim::Dpu& dpu, const KernelParams& params_in) {
   meta.num_regions = regions;
 
   // 4. count the delta, 5. clear the flags for the next round.
+  IntersectTally tally;
+  const std::uint64_t instr0 = dpu.total_instructions();
   const std::uint64_t delta =
       count_incremental(dpu, params, sorted, arcs_total, flags, reg, regions,
-                        batch, arcs_b);
+                        batch, arcs_b, tally);
+  store_tally(meta, tally, dpu.total_instructions() - instr0);
   clear_flags(dpu, params, flags, arcs_total);
 
   meta.triangle_count += delta;

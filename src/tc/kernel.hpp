@@ -6,13 +6,17 @@
 // (layout.hpp); the raw sample is never modified.
 //
 // Full kernel (static counting, also the first pass of dynamic mode):
-//   1. remap+copy — copy the sample into scratch A, translating the top-t
-//      high-degree node ids (Misra-Gries remap) to ids above every real id,
+//   1. remap+copy — copy the sample into scratch A, translating the
+//      high-degree node ids (Misra-Gries remap, degree-ordered) to ids
+//      above every real id,
 //   2. sort       — WRAM chunk sort + MRAM ping-pong merge passes,
 //   3. persist    — optionally copy the sorted data into S* (dynamic mode),
 //   4. index      — build the per-first-node region index,
-//   5. count      — edge-iterator merge: for every edge (u,v), binary-search
-//      the region of v and merge the remainder of u's region with v's.
+//   5. count      — edge iterator over strided chunks: for every edge
+//      (u,v), look up both regions through the WRAM RegionCache and run the
+//      adaptive intersection (tc/intersect.hpp) of the remainder of u's
+//      region with v's — linear merge or block-galloping binary search per
+//      the configured IntersectPolicy.
 //
 // Incremental kernel (dynamic updates; requires a valid S*):
 //   1. remap+copy+sort the new batch (sample[sorted_size..sample_size)),
@@ -28,6 +32,7 @@
 
 #include "pim/config.hpp"
 #include "pim/dpu.hpp"
+#include "tc/intersect.hpp"
 #include "tc/layout.hpp"
 
 namespace pimtc::tc {
@@ -35,6 +40,16 @@ namespace pimtc::tc {
 struct KernelParams {
   std::uint32_t tasklets = 16;
   std::uint32_t buffer_edges = 64;  ///< WRAM staging granularity per stream
+  /// Intersection strategy of the counting phases; counts are bit-identical
+  /// under every policy (tc/intersect.hpp).
+  IntersectPolicy intersect = IntersectPolicy::kAuto;
+  /// Auto-policy crossover margin: gallop when its modeled cost times this
+  /// factor undercuts the linear merge.  Must be >= 1.
+  std::uint32_t gallop_margin = 3;
+  /// WRAM RegionCache for region lookups; false degrades every lookup to
+  /// the full-table MRAM binary search (ablation baseline — the pre-cache
+  /// kernel behavior).
+  bool region_cache = true;
   pim::KernelCostModel cost{};
 };
 

@@ -31,6 +31,11 @@ namespace pimtc::tc {
 
 /// Fixed header at MRAM offset 0; written by the host before a launch and
 /// read back after (8-byte fields first keep everything aligned).
+///
+/// The `merge_*`/`gallop_*`/`chunks_claimed` fields are the intersection
+/// diagnostics of the *last* kernel run (full or incremental): both kernels
+/// overwrite them, so the host reads per-recount numbers, not session
+/// accumulations.
 struct DpuMeta {
   std::uint64_t sample_size = 0;      ///< edges resident in S
   std::uint64_t edges_seen = 0;       ///< t: edges ever offered to this core
@@ -38,13 +43,22 @@ struct DpuMeta {
   std::uint64_t triangle_count = 0;   ///< cumulative raw count (output)
   std::uint64_t num_regions = 0;      ///< region-index size (output)
   std::uint64_t sorted_size = 0;      ///< edges incorporated into S*
+  std::uint64_t merge_picks = 0;      ///< elements consumed by merge loops
+  std::uint64_t gallop_probes = 0;    ///< MRAM bursts of block searches
+  std::uint64_t merge_isects = 0;     ///< intersections resolved by merge
+  std::uint64_t gallop_isects = 0;    ///< intersections resolved by gallop
+  std::uint64_t chunks_claimed = 0;   ///< strided work chunks claimed
+  /// Instructions issued by the counting phase alone (region-cache build +
+  /// lookups + intersections), excluding copy/sort/index — the quantity the
+  /// adaptive engine optimizes and BENCH_kernel.json tracks.
+  std::uint64_t count_instructions = 0;
   std::uint32_t num_remap = 0;        ///< entries in the remap table
   std::uint32_t flags = 0;            ///< see kFlag* below
 
   static constexpr std::uint32_t kFlagPersistSorted = 1u << 0;
   static constexpr std::uint32_t kFlagSortedValid = 1u << 1;
 };
-static_assert(sizeof(DpuMeta) == 56);
+static_assert(sizeof(DpuMeta) == 104);
 
 /// An entry of the region index: all sorted records in [begin, next.begin)
 /// share `node` as their first endpoint.
@@ -59,8 +73,14 @@ static_assert(sizeof(RegionEntry) == 8);
 
 struct MramLayout {
   static constexpr std::uint64_t kMetaOffset = 0;
-  static constexpr std::uint64_t kRemapOffset = 64;
+  static constexpr std::uint64_t kRemapOffset = 128;
   static constexpr std::uint32_t kMaxRemap = 1024;  ///< 4 KB remap area
+
+  /// Largest reservoir capacity M addressable by the region index:
+  /// RegionEntry.begin is a 32-bit index into the 2M-entry arc arrays, so
+  /// 2M - 1 must fit in uint32.  max_capacity() clamps to this and the
+  /// kernels reject control blocks beyond it.
+  static constexpr std::uint64_t kMaxCapacityEdges = 1ull << 31;
 
   /// First byte of the (raw, arrival-order) sample region: M edges.
   [[nodiscard]] static constexpr std::uint64_t sample_offset() noexcept {
@@ -109,7 +129,8 @@ struct MramLayout {
       std::uint64_t mram_bytes) noexcept {
     const std::uint64_t fixed = sample_offset() + 64;
     if (mram_bytes <= fixed) return 0;
-    return (mram_bytes - fixed) / 74;
+    const std::uint64_t cap = (mram_bytes - fixed) / 74;
+    return cap < kMaxCapacityEdges ? cap : kMaxCapacityEdges;
   }
 };
 

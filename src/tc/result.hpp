@@ -7,6 +7,7 @@
 
 #include "common/types.hpp"
 #include "pim/system.hpp"
+#include "tc/intersect.hpp"
 
 namespace pimtc::tc {
 
@@ -53,6 +54,20 @@ struct TcResult {
   std::array<std::uint64_t, 3> kind_edges_seen{};
   std::array<std::uint32_t, 3> kind_dpus{};
   std::uint32_t rebalances = 0;  ///< sample migrations performed this session
+
+  // ---- counting-kernel diagnostics (this recount) --------------------------
+  /// Intersection tally of the launched kernels, summed over cores: merge
+  /// vs gallop picks/probes and strided chunks claimed (tc/intersect.hpp).
+  IntersectTally kernel;
+  /// Pipeline instructions issued by the counting kernels of this recount,
+  /// summed over cores (copy + sort + index + count).
+  std::uint64_t kernel_instructions = 0;
+  /// Instructions of the counting phase alone (region-cache build + lookups
+  /// + intersections), summed over cores — the quantity the adaptive
+  /// intersection engine optimizes and BENCH_kernel.json tracks.
+  std::uint64_t count_instructions = 0;
+  /// Resolved intersection policy name ("auto" | "merge" | "gallop").
+  std::string intersect;
 
   [[nodiscard]] TriangleCount rounded() const noexcept {
     return estimate <= 0 ? 0 : static_cast<TriangleCount>(estimate + 0.5);

@@ -154,6 +154,24 @@ TEST(ConfigValidationTest, RejectsMgTopAboveMgCapacity) {
   EXPECT_NO_THROW(cfg.validate());
 }
 
+TEST(ConfigValidationTest, RejectsDegreeRemapWithoutMisraGries) {
+  // Degree ordering comes from the Misra-Gries estimates; without the
+  // summaries there is nothing to order by.
+  EngineConfig cfg = small_config();
+  cfg.degree_ordered_remap = true;
+  EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
+  cfg.misra_gries_enabled = true;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(ConfigValidationTest, RejectsZeroGallopMargin) {
+  EngineConfig cfg = small_config();
+  cfg.gallop_margin = 0;
+  EXPECT_THROW(make_engine("pim", cfg), std::invalid_argument);
+  cfg.gallop_margin = 1;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
 TEST(ConfigValidationTest, AutoColorSelectionFillsTheMachine) {
   // num_colors == 0 resolves to the largest C fitting pim.max_dpus: C = 23
   // -> 2300 of 2560 DPUs (~90% utilization) on the default machine.

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "graph/generators.hpp"
@@ -145,13 +147,15 @@ TEST(KernelTest, RemapPreservesCount) {
   EXPECT_EQ(out.triangle_count, expected);
 }
 
-TEST(KernelTest, RemapReducesWorkOnHubGraphs) {
-  // The point of Section 3.5.  Pathological case for the edge-iterator: hub
-  // 0 (lowest id) neighbors every leaf, and every leaf also points at a
-  // high-id anchor.  Each hub edge (0, x) then merges the *remainder of the
-  // hub's huge region* against region(x) = {anchor}, walking O(deg) edges —
-  // O(deg^2) total.  Remapping the hub to the highest id collapses its
-  // region and the same triangles are found in O(deg) work.
+TEST(KernelTest, HubPathologyHandledByGallopAndRemap) {
+  // The Section 3.5 pathology: hub 0 (lowest id) neighbors every leaf, and
+  // every leaf also points at a high-id anchor.  Each hub edge (0, x) then
+  // intersects the *remainder of the hub's huge region* against
+  // region(x) = {anchor}; a pure linear merge walks O(deg) edges per hub
+  // edge — O(deg^2) total.  Two independent mechanisms now collapse it:
+  // the adaptive intersection gallops the 1-element region into the hub's
+  // (small * log(large)), and the high-degree remap moves the hub to the
+  // highest id so its region is never the intersected suffix at all.
   const NodeId n = 1500;  // anchor node id
   graph::EdgeList g;
   for (NodeId x = 1; x < n; ++x) {
@@ -162,17 +166,29 @@ TEST(KernelTest, RemapReducesWorkOnHubGraphs) {
   const TriangleCount expected = graph::reference_triangle_count(g);
   ASSERT_EQ(expected, n - 1);  // triangles (0, x, anchor)
 
-  pim::Dpu plain(test_config(), 0);
-  const DpuMeta out_plain = run_kernel_on(plain, to_vector(g), KernelParams{});
+  KernelParams merge_only;
+  merge_only.intersect = IntersectPolicy::kMerge;
 
-  pim::Dpu remapped(test_config(), 1);
+  pim::Dpu merged(test_config(), 0);
+  const DpuMeta out_merge = run_kernel_on(merged, to_vector(g), merge_only);
+
+  pim::Dpu adaptive(test_config(), 1);
+  const DpuMeta out_adapt = run_kernel_on(adaptive, to_vector(g),
+                                          KernelParams{});  // auto policy
+
+  pim::Dpu remapped(test_config(), 2);
   const DpuMeta out_remap =
       run_kernel_on(remapped, to_vector(g), KernelParams{}, {0});  // hub = 0
 
-  EXPECT_EQ(out_plain.triangle_count, expected);
+  EXPECT_EQ(out_merge.triangle_count, expected);
+  EXPECT_EQ(out_adapt.triangle_count, expected);
   EXPECT_EQ(out_remap.triangle_count, expected);
-  // The win must be large, not marginal.
-  EXPECT_LT(remapped.cycles() * 5.0, plain.cycles());
+  // The adaptive intersection alone must yield a large win over the pure
+  // merge (it galloped the hub intersections)...
+  EXPECT_GT(out_adapt.gallop_isects, 0u);
+  EXPECT_LT(adaptive.cycles() * 5.0, merged.cycles());
+  // ...and the degree remap still helps on top (hub region gone entirely).
+  EXPECT_LT(remapped.cycles(), adaptive.cycles());
 }
 
 TEST(KernelTest, MoreTaskletsReduceSimulatedTime) {
@@ -252,6 +268,119 @@ TEST(KernelTest, MaxCapacityLeavesRoomForScratch) {
 TEST(KernelTest, RemappedIdsAreAboveAllRealIds) {
   EXPECT_GT(remapped_id(0), remapped_id(1));
   EXPECT_EQ(remapped_id(0), kInvalidNode - 1);
+}
+
+TEST(KernelTest, MaxCapacityClampsToRegionIndexRange) {
+  // RegionEntry.begin is 32-bit: even an absurd simulated bank must not
+  // derive a capacity whose 2M-arc arrays it could not index.
+  EXPECT_EQ(MramLayout::max_capacity(1ull << 60),
+            MramLayout::kMaxCapacityEdges);
+  EXPECT_LE(2 * MramLayout::kMaxCapacityEdges - 1,
+            std::uint64_t{std::numeric_limits<std::uint32_t>::max()});
+}
+
+TEST(KernelTest, RejectsCapacityBeyondRegionIndexRange) {
+  // Boundary regression for the RegionEntry.begin truncation hazard: a
+  // control block one past kMaxCapacityEdges is rejected by both kernels
+  // before any work; the boundary value itself is accepted.
+  pim::Dpu dpu(test_config(), 0);
+  DpuMeta meta;
+  meta.sample_size = 0;
+  meta.sample_capacity = MramLayout::kMaxCapacityEdges + 1;
+  dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+  EXPECT_THROW(run_count_kernel(dpu, KernelParams{}), std::logic_error);
+  EXPECT_THROW(run_incremental_kernel(dpu, KernelParams{}), std::logic_error);
+
+  meta.sample_capacity = MramLayout::kMaxCapacityEdges;
+  dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+  EXPECT_NO_THROW(run_count_kernel(dpu, KernelParams{}));
+}
+
+// ---- intersection-policy equivalence --------------------------------------
+
+/// Adversarial region shapes for the adaptive intersection: a pure star
+/// (one huge region, no triangles), a clique (all regions dense), two hubs
+/// sharing every leaf (huge x huge intersections with matches), and a
+/// skewed power-law graph with planted mega-hubs.
+std::vector<std::pair<const char*, graph::EdgeList>> adversarial_graphs() {
+  std::vector<std::pair<const char*, graph::EdgeList>> out;
+  out.emplace_back("star", graph::gen::star(500));
+  out.emplace_back("clique", graph::gen::complete(40));
+
+  graph::EdgeList two_hub;
+  for (NodeId x = 2; x < 400; ++x) {
+    two_hub.push_back({0, x});
+    two_hub.push_back({1, x});
+  }
+  two_hub.push_back({0, 1});
+  out.emplace_back("two-hub", std::move(two_hub));
+
+  graph::EdgeList skewed = graph::gen::barabasi_albert(600, 5, 77);
+  graph::gen::add_hubs(skewed, 2, 150, 78);
+  graph::preprocess(skewed, 79);
+  out.emplace_back("skewed-power-law", std::move(skewed));
+  return out;
+}
+
+constexpr IntersectPolicy kAllPolicies[] = {
+    IntersectPolicy::kMerge, IntersectPolicy::kGallop, IntersectPolicy::kAuto};
+
+TEST(IntersectPolicyTest, StaticCountsBitIdenticalAcrossPolicies) {
+  for (const auto& [name, g] : adversarial_graphs()) {
+    const TriangleCount expected = graph::reference_triangle_count(g);
+    for (const IntersectPolicy policy : kAllPolicies) {
+      KernelParams p;
+      p.intersect = policy;
+      pim::Dpu dpu(test_config(), 0);
+      const DpuMeta out = run_kernel_on(dpu, to_vector(g), p);
+      EXPECT_EQ(out.triangle_count, expected)
+          << name << " under " << to_string(policy);
+    }
+  }
+}
+
+TEST(IntersectPolicyTest, TallyReflectsForcedPolicy) {
+  const graph::EdgeList g = adversarial_graphs()[3].second;  // skewed
+  KernelParams p;
+
+  p.intersect = IntersectPolicy::kMerge;
+  pim::Dpu merged(test_config(), 0);
+  const DpuMeta out_m = run_kernel_on(merged, to_vector(g), p);
+  EXPECT_GT(out_m.merge_isects, 0u);
+  EXPECT_GT(out_m.merge_picks, 0u);
+  EXPECT_EQ(out_m.gallop_isects, 0u);
+  EXPECT_EQ(out_m.gallop_probes, 0u);
+  EXPECT_GT(out_m.chunks_claimed, 0u);
+
+  p.intersect = IntersectPolicy::kGallop;
+  pim::Dpu galloped(test_config(), 1);
+  const DpuMeta out_g = run_kernel_on(galloped, to_vector(g), p);
+  EXPECT_GT(out_g.gallop_isects, 0u);
+  EXPECT_GT(out_g.gallop_probes, 0u);
+  EXPECT_EQ(out_g.merge_isects, 0u);
+  EXPECT_EQ(out_g.merge_picks, 0u);
+
+  p.intersect = IntersectPolicy::kAuto;
+  pim::Dpu adaptive(test_config(), 2);
+  const DpuMeta out_a = run_kernel_on(adaptive, to_vector(g), p);
+  // The skewed graph must exercise both paths under the cost model.
+  EXPECT_GT(out_a.merge_isects, 0u);
+  EXPECT_GT(out_a.gallop_isects, 0u);
+  EXPECT_EQ(out_a.merge_isects + out_a.gallop_isects,
+            out_m.merge_isects + out_m.gallop_isects);
+}
+
+TEST(IntersectPolicyTest, GallopMarginShiftsTheCrossover) {
+  const graph::EdgeList g = adversarial_graphs()[3].second;  // skewed
+  KernelParams p;
+  p.gallop_margin = 1;  // most gallop-happy
+  pim::Dpu loose(test_config(), 0);
+  const DpuMeta out_loose = run_kernel_on(loose, to_vector(g), p);
+  p.gallop_margin = 64;  // pushes nearly everything back to merge
+  pim::Dpu strict(test_config(), 1);
+  const DpuMeta out_strict = run_kernel_on(strict, to_vector(g), p);
+  EXPECT_GT(out_loose.gallop_isects, out_strict.gallop_isects);
+  EXPECT_EQ(out_loose.triangle_count, out_strict.triangle_count);
 }
 
 // ---- incremental kernel --------------------------------------------------
@@ -425,6 +554,25 @@ TEST(IncrementalKernelTest, IncrementalIsCheaperThanFullRecount) {
     done = std::min(edges.size(), done + step);
   }
   EXPECT_LT(inc.cycles(), full.cycles());
+}
+
+TEST(IncrementalKernelTest, CountsBitIdenticalAcrossIntersectPolicies) {
+  // The incremental path exercises the shared intersection with the
+  // new-flag ownership callback; every policy must land the same deltas on
+  // the same adversarial shapes as the static suite.
+  for (const auto& [name, g] : adversarial_graphs()) {
+    if (g.num_edges() < 6) continue;
+    const TriangleCount expected = graph::reference_triangle_count(g);
+    for (const IntersectPolicy policy : kAllPolicies) {
+      KernelParams p;
+      p.intersect = policy;
+      pim::Dpu dpu(test_config(), 0);
+      const DpuMeta out =
+          run_incremental_on(dpu, to_vector(g), g.num_edges() / 2, 3, p);
+      EXPECT_EQ(out.triangle_count, expected)
+          << name << " under " << to_string(policy);
+    }
+  }
 }
 
 }  // namespace

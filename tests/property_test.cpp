@@ -105,7 +105,100 @@ TEST_P(InvarianceTest, CountInvariantUnderIdPermutation) {
   EXPECT_EQ(b.count(g).rounded(), before);
 }
 
+TEST_P(InvarianceTest, EstimateBitIdenticalUnderIntersectPolicy) {
+  // The adaptive intersection moves only modeled work: forcing merge or
+  // gallop — with sampling, reservoir overflow and the degree-ordered remap
+  // all active — must reproduce the auto estimate bit for bit.
+  const std::uint64_t seed = GetParam();
+  graph::EdgeList g = graph::gen::barabasi_albert(900, 5, seed);
+  graph::gen::add_hubs(g, 2, 200, seed + 1);
+  graph::preprocess(g, seed + 2);
+
+  tc::TcConfig cfg;
+  cfg.num_colors = 3;
+  cfg.uniform_p = 0.8;
+  cfg.seed = 31 + seed;
+  cfg.misra_gries_enabled = true;
+  cfg.degree_ordered_remap = true;
+  cfg.mg_capacity = 256;
+  cfg.sample_capacity_edges = g.num_edges() / 3;  // forces overflow somewhere
+
+  cfg.intersect = tc::IntersectPolicy::kAuto;
+  tc::PimTriangleCounter base(cfg, small_banks());
+  const tc::TcResult ref = base.count(g);
+
+  for (const tc::IntersectPolicy policy :
+       {tc::IntersectPolicy::kMerge, tc::IntersectPolicy::kGallop}) {
+    cfg.intersect = policy;
+    tc::PimTriangleCounter counter(cfg, small_banks());
+    const tc::TcResult r = counter.count(g);
+    EXPECT_EQ(r.estimate, ref.estimate) << tc::to_string(policy);
+    EXPECT_EQ(r.raw_total, ref.raw_total) << tc::to_string(policy);
+  }
+}
+
+TEST_P(InvarianceTest, IncrementalEstimateBitIdenticalUnderIntersectPolicy) {
+  // Same invariant through the dynamic path: streamed batches, persistent
+  // sorted arcs, incremental recounts.
+  const std::uint64_t seed = GetParam();
+  graph::EdgeList g = graph::gen::barabasi_albert(700, 4, seed + 50);
+  graph::preprocess(g, seed + 51);
+  const auto edges = g.edges();
+  const std::size_t half = edges.size() / 2;
+
+  double ref_estimate = -1.0;
+  for (const tc::IntersectPolicy policy :
+       {tc::IntersectPolicy::kAuto, tc::IntersectPolicy::kMerge,
+        tc::IntersectPolicy::kGallop}) {
+    tc::TcConfig cfg;
+    cfg.num_colors = 3;
+    cfg.incremental = true;
+    cfg.intersect = policy;
+    tc::PimTriangleCounter counter(cfg, small_banks());
+    counter.add_edges(edges.subspan(0, half));
+    (void)counter.recount();
+    counter.add_edges(edges.subspan(half));
+    const tc::TcResult r = counter.recount();
+    EXPECT_TRUE(r.used_incremental);
+    if (ref_estimate < 0.0) {
+      ref_estimate = r.estimate;
+      EXPECT_EQ(r.rounded(), graph::reference_triangle_count(g));
+    } else {
+      EXPECT_EQ(r.estimate, ref_estimate) << tc::to_string(policy);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, InvarianceTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(AdaptiveIntersectionTest, CutsStaticCountInstructionsOnHubGraphs) {
+  // The PR-4 acceptance bar, pinned: on a hub-heavy BA+hubs graph (ids
+  // permuted, as in real datasets), the adaptive default must cut static
+  // counting-phase instructions >= 1.5x vs the legacy path (linear merge +
+  // uncached full-table region searches) at default params, with the
+  // estimate unchanged.
+  graph::EdgeList g = graph::gen::barabasi_albert(3000, 5, 11);
+  graph::gen::add_hubs(g, 3, 750, 12);
+  graph::gen::permute_ids(g, 13);
+  graph::preprocess(g, 14);
+
+  tc::TcConfig legacy_cfg;
+  legacy_cfg.intersect = tc::IntersectPolicy::kMerge;
+  legacy_cfg.region_cache = false;
+  tc::PimTriangleCounter legacy(legacy_cfg, small_banks());
+  const tc::TcResult legacy_r = legacy.count(g);
+
+  tc::TcConfig adaptive_cfg;  // defaults: auto policy, cache on
+  tc::PimTriangleCounter adaptive(adaptive_cfg, small_banks());
+  const tc::TcResult adaptive_r = adaptive.count(g);
+
+  EXPECT_EQ(adaptive_r.estimate, legacy_r.estimate);
+  EXPECT_GT(adaptive_r.count_instructions, 0u);
+  EXPECT_GE(static_cast<double>(legacy_r.count_instructions),
+            1.5 * static_cast<double>(adaptive_r.count_instructions));
+  // The modeled count phase must improve too, not just the op counts.
+  EXPECT_LT(adaptive_r.times.count_s, legacy_r.times.count_s);
+}
 
 // ---- simulated-time sanity -------------------------------------------------
 

@@ -20,6 +20,7 @@
 
 #include "coloring/partition_plan.hpp"
 #include "engine/registry.hpp"
+#include "tc/intersect.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/paper_graphs.hpp"
@@ -43,7 +44,9 @@ using namespace pimtc;
       "                 [--placement=identity|kind_interleave|greedy_balance]\n"
       "                 [--rebalance] [--p=<keep prob>]\n"
       "                 [--capacity=<edges/core>]\n"
-      "                 [--misra-gries] [--mg-top=<t>] [--incremental]\n"
+      "                 [--misra-gries] [--mg-top=<t>] [--degree-remap]\n"
+      "                 [--intersect=auto|merge|gallop] [--gallop-margin=<k>]\n"
+      "                 [--no-region-cache] [--incremental]\n"
       "                 [--threads=<n>] [--dpus-per-rank=<n>]\n"
       "                 [--staging=<edges/core>] [--no-pipeline]\n"
       "                 [--json] [--exact-check] [--check-backend=<name>]\n"
@@ -186,8 +189,15 @@ engine::EngineConfig config_from_args(const Args& args) {
   cfg.uniform_p = args.num("p", 1.0);
   cfg.sample_capacity_edges =
       static_cast<std::uint64_t>(args.num("capacity", 0));
-  cfg.misra_gries_enabled = args.flag("misra-gries");
+  // --degree-remap needs the Misra-Gries summaries, so it implies them.
+  cfg.degree_ordered_remap = args.flag("degree-remap");
+  cfg.misra_gries_enabled =
+      args.flag("misra-gries") || cfg.degree_ordered_remap;
   cfg.mg_top = static_cast<std::uint32_t>(args.num("mg-top", 32));
+  cfg.intersect = tc::intersect_policy_from_string(args.str("intersect", "auto"));
+  cfg.gallop_margin =
+      static_cast<std::uint32_t>(args.num("gallop-margin", cfg.gallop_margin));
+  cfg.region_cache = !args.flag("no-region-cache");
   cfg.incremental = args.flag("incremental");
   cfg.host_threads = static_cast<std::uint32_t>(args.num("threads", 0));
   cfg.seed = static_cast<std::uint64_t>(args.num("seed", 42));
@@ -239,6 +249,23 @@ void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
       static_cast<unsigned long long>(r.work.conversion_ops),
       static_cast<unsigned long long>(r.work.intersection_steps));
   std::printf(",\"host_threads\":%u", r.host_threads);
+  if (r.kernel.instructions > 0) {
+    // Adaptive-intersection kernel diagnostics of the last recount.
+    std::printf(
+        ",\"kernel\":{\"intersect\":\"%s\",\"instructions\":%llu,"
+        "\"count_instructions\":%llu,"
+        "\"merge_isects\":%llu,\"gallop_isects\":%llu,"
+        "\"merge_picks\":%llu,\"gallop_probes\":%llu,"
+        "\"chunks_claimed\":%llu}",
+        r.kernel.intersect.c_str(),
+        static_cast<unsigned long long>(r.kernel.instructions),
+        static_cast<unsigned long long>(r.kernel.count_instructions),
+        static_cast<unsigned long long>(r.kernel.merge_isects),
+        static_cast<unsigned long long>(r.kernel.gallop_isects),
+        static_cast<unsigned long long>(r.kernel.merge_picks),
+        static_cast<unsigned long long>(r.kernel.gallop_probes),
+        static_cast<unsigned long long>(r.kernel.chunks_claimed));
+  }
   if (r.num_colors > 0) {
     // Partition-planner diagnostics: per-kind load histogram (expected
     // N/3N/6N per core of kind 1/2/3), imbalance, placement, rebalances.
@@ -316,6 +343,19 @@ void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
                 static_cast<unsigned long long>(r.kind_edges_seen[1]),
                 static_cast<unsigned long long>(r.kind_edges_seen[2]),
                 r.kind_units[0], r.kind_units[1], r.kind_units[2]);
+  }
+  if (r.kernel.instructions > 0) {
+    std::printf("kernel:     %s intersect | %llu merge / %llu gallop "
+                "intersections | %llu picks, %llu probes | %llu chunks | "
+                "%llu count instr of %llu total\n",
+                r.kernel.intersect.c_str(),
+                static_cast<unsigned long long>(r.kernel.merge_isects),
+                static_cast<unsigned long long>(r.kernel.gallop_isects),
+                static_cast<unsigned long long>(r.kernel.merge_picks),
+                static_cast<unsigned long long>(r.kernel.gallop_probes),
+                static_cast<unsigned long long>(r.kernel.chunks_claimed),
+                static_cast<unsigned long long>(r.kernel.count_instructions),
+                static_cast<unsigned long long>(r.kernel.instructions));
   }
   if (r.edges_replicated > 0) {
     std::printf("replicated: %llu edges (C x kept %llu of %llu streamed)\n",
