@@ -177,5 +177,57 @@ int main(int argc, char** argv) {
               "GPU beats CPU: %s\n",
               naive_cum > 1.5 * pim_cum ? "HOLDS" : "WEAK",
               gpu_cum < cpu_cum ? "HOLDS" : "VIOLATED");
+
+  // ---- mixed-stream churn phase (fully-dynamic serving shape) --------------
+  // The insertion-only experiment above is the paper's; real serving
+  // workloads churn both ways.  Continue the same PIM session with 5 delete
+  // batches removing 20% of the edges, recounting after each.  Deletions
+  // evict resident samples via random pairing and dirty the touched
+  // triplets, which alone pay a full kernel pass — the report prints how
+  // selective that invalidation is.  The exact fully-dynamic CPU engine
+  // replays the identical ± stream as the parity oracle.
+  std::printf("\nMixed-stream churn: deleting 20%% of |E| in 5 batches\n");
+  auto oracle = engine::make_engine("cpu-incremental", cfg);
+  oracle->add_edges(edges);
+
+  const std::size_t churn_total = full.num_edges() / 5;
+  const std::size_t churn_step = churn_total / 5;
+  double churn_cum = 0.0;
+  std::uint32_t dirty_cores = 0;
+  std::uint32_t churn_units = 0;
+  bool churn_parity = true;
+  std::printf("%7s %12s | %10s %12s %8s\n", "delete", "edges left",
+              "PIM s", "evictions", "dirty");
+  for (int u = 0; u < 5; ++u) {
+    const std::size_t lo = u * churn_step;
+    const std::size_t hi = (u == 4) ? churn_total : lo + churn_step;
+    std::vector<EdgeUpdate> batch;
+    batch.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) batch.push_back(delete_of(edges[i]));
+
+    pim->reset_timers();
+    pim->apply(batch);
+    const engine::CountReport r = pim->recount();
+    churn_cum += (r.times.ingest_s + r.times.count_s) * ratio;
+    dirty_cores += r.dirty_full_recounts;
+    churn_units = r.num_units;
+
+    oracle->apply(batch);
+    const engine::CountReport o = oracle->recount();
+    if (r.rounded() != o.rounded()) churn_parity = false;
+    std::printf("%7d %12.0f | %10.2f %12llu %8u%s\n", u + 1,
+                static_cast<double>(full.num_edges() - hi) * ratio,
+                churn_cum,
+                static_cast<unsigned long long>(r.sample_evictions),
+                r.dirty_full_recounts,
+                r.rounded() == o.rounded() ? "" : "  <-- COUNT MISMATCH");
+  }
+  std::printf("Churn checks: PIM matches the exact fully-dynamic oracle on "
+              "every recount: %s; deletion-forced full passes: %u of %u "
+              "core-recounts (batches this large touch most triplets — "
+              "small deletions invalidate selectively, see the dirty-triplet "
+              "tests)\n",
+              churn_parity ? "HOLDS" : "VIOLATED", dirty_cores,
+              5 * churn_units);
   return 0;
 }

@@ -64,6 +64,26 @@ static_assert(sizeof(Edge) == 8, "Edge must be 8 bytes for MRAM modelling");
               static_cast<NodeId>(k & 0xffffffffu)};
 }
 
+/// One element of a fully-dynamic edge stream: an edge plus a ±sign.  An
+/// insertion adds the edge to the graph; a deletion removes a previously
+/// inserted edge.  Streams mixing both drive the apply() verb of the
+/// engines; insertion-only streams are exactly the add_edges() case.
+struct EdgeUpdate {
+  Edge edge{};
+  bool is_insert = true;
+
+  friend constexpr bool operator==(const EdgeUpdate&,
+                                   const EdgeUpdate&) = default;
+};
+
+[[nodiscard]] constexpr EdgeUpdate insert_of(Edge e) noexcept {
+  return {e, true};
+}
+
+[[nodiscard]] constexpr EdgeUpdate delete_of(Edge e) noexcept {
+  return {e, false};
+}
+
 }  // namespace pimtc
 
 template <>

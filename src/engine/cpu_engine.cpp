@@ -59,31 +59,85 @@ EngineCapabilities CpuEngine::capabilities() const {
 IncrementalCpuEngine::IncrementalCpuEngine(const EngineConfig& config)
     : TriangleCountEngine(config) {}
 
+void IncrementalCpuEngine::insert_one(Edge raw) {
+  ++edges_streamed_;
+  if (raw.is_loop()) return;
+  const Edge e = raw.canonical();
+  if (!edge_set_.insert(edge_key(e)).second) return;  // duplicate
+
+  if (e.v >= adj_.size()) adj_.resize(e.v + 1);
+
+  // Close triangles against everything inserted before this edge: every
+  // triangle is counted exactly once, when its last edge arrives.
+  const std::vector<NodeId>& au = adj_[e.u];
+  const std::vector<NodeId>& av = adj_[e.v];
+  const bool scan_u = au.size() <= av.size();
+  const std::vector<NodeId>& scan = scan_u ? au : av;
+  const NodeId other = scan_u ? e.v : e.u;
+  for (const NodeId w : scan) {
+    ++probes_;
+    if (edge_set_.contains(edge_key(Edge{w, other}.canonical()))) ++total_;
+  }
+
+  adj_[e.u].push_back(e.v);
+  adj_[e.v].push_back(e.u);
+  ++edges_stored_;
+}
+
+void IncrementalCpuEngine::delete_one(Edge raw) {
+  ++edges_streamed_;
+  if (raw.is_loop()) return;
+  const Edge e = raw.canonical();
+  const auto it = edge_set_.find(edge_key(e));
+  if (it == edge_set_.end()) {
+    ++delete_misses_;  // never inserted (or already deleted): detected no-op
+    return;
+  }
+
+  // Subtract the triangles this edge currently closes — the exact inverse
+  // of the insertion rule, so insert-then-delete of any batch restores the
+  // running total exactly.
+  const std::vector<NodeId>& au = adj_[e.u];
+  const std::vector<NodeId>& av = adj_[e.v];
+  const bool scan_u = au.size() <= av.size();
+  const std::vector<NodeId>& scan = scan_u ? au : av;
+  const NodeId other = scan_u ? e.v : e.u;
+  for (const NodeId w : scan) {
+    ++probes_;
+    if (w == other) continue;  // the edge itself, not a common neighbor
+    if (edge_set_.contains(edge_key(Edge{w, other}.canonical()))) --total_;
+  }
+
+  edge_set_.erase(it);
+  const auto unlink = [](std::vector<NodeId>& list, NodeId node) {
+    for (NodeId& x : list) {
+      if (x == node) {
+        x = list.back();
+        list.pop_back();
+        return;
+      }
+    }
+  };
+  unlink(adj_[e.u], e.v);
+  unlink(adj_[e.v], e.u);
+  --edges_stored_;
+  ++edges_deleted_;
+}
+
 void IncrementalCpuEngine::add_edges(std::span<const Edge> batch) {
   WallTimer timer;
-  for (const Edge& raw : batch) {
-    ++edges_streamed_;
-    if (raw.is_loop()) continue;
-    const Edge e = raw.canonical();
-    if (!edge_set_.insert(edge_key(e)).second) continue;  // duplicate
+  for (const Edge& raw : batch) insert_one(raw);
+  times_.count_s += timer.elapsed_s();
+}
 
-    if (e.v >= adj_.size()) adj_.resize(e.v + 1);
-
-    // Close triangles against everything inserted before this edge: every
-    // triangle is counted exactly once, when its last edge arrives.
-    const std::vector<NodeId>& au = adj_[e.u];
-    const std::vector<NodeId>& av = adj_[e.v];
-    const bool scan_u = au.size() <= av.size();
-    const std::vector<NodeId>& scan = scan_u ? au : av;
-    const NodeId other = scan_u ? e.v : e.u;
-    for (const NodeId w : scan) {
-      ++probes_;
-      if (edge_set_.contains(edge_key(Edge{w, other}.canonical()))) ++total_;
+void IncrementalCpuEngine::apply(std::span<const EdgeUpdate> updates) {
+  WallTimer timer;
+  for (const EdgeUpdate& u : updates) {
+    if (u.is_insert) {
+      insert_one(u.edge);
+    } else {
+      delete_one(u.edge);
     }
-
-    adj_[e.u].push_back(e.v);
-    adj_[e.v].push_back(e.u);
-    ++edges_stored_;
   }
   times_.count_s += timer.elapsed_s();
 }
@@ -105,6 +159,9 @@ CountReport IncrementalCpuEngine::recount() {
   report.host_threads = 1;  // the adjacency engine is inherently serial
   report.edges_streamed = edges_streamed_;
   report.edges_kept = edges_stored_;
+  report.edges_deleted = edges_deleted_;
+  report.sample_evictions = edges_deleted_;  // exact engine: every hit evicts
+  report.delete_misses = delete_misses_;
   report.used_incremental = true;
   return report;
 }
@@ -114,6 +171,7 @@ EngineCapabilities IncrementalCpuEngine::capabilities() const {
   caps.exact = true;
   caps.streaming = true;
   caps.incremental_recount = true;
+  caps.deletions = true;  // exact hash-adjacency deletions
   caps.simulated_time = false;
   caps.work_profile = true;
   return caps;

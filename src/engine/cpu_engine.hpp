@@ -10,7 +10,13 @@
 // graph streamed so far, so recount() cost follows the batch, not the
 // accumulated graph.  Every triangle is counted exactly once, at the
 // insertion of its last edge; duplicate edges and self loops are dropped on
-// arrival, so it tolerates un-preprocessed streams.
+// arrival, so it tolerates un-preprocessed streams.  It is fully dynamic:
+// apply() deletions subtract the triangles the removed edge currently
+// closes (the exact mirror of the insertion rule), so the running total is
+// exact under arbitrary ± streams — this engine is the parity oracle the
+// mixed-stream tests and the CLI --exact-check run against.  Deleting an
+// edge that is not present (never inserted, or already deleted) is a
+// detected no-op.
 #pragma once
 
 #include <memory>
@@ -47,6 +53,7 @@ class IncrementalCpuEngine final : public TriangleCountEngine {
   explicit IncrementalCpuEngine(const EngineConfig& config);
 
   void add_edges(std::span<const Edge> batch) override;
+  void apply(std::span<const EdgeUpdate> updates) override;
   CountReport recount() override;
   [[nodiscard]] EngineCapabilities capabilities() const override;
   [[nodiscard]] const char* name() const noexcept override {
@@ -55,11 +62,19 @@ class IncrementalCpuEngine final : public TriangleCountEngine {
   void reset_timers() override { times_ = {}; }
 
  private:
+  /// Inserts one stream edge (dedup + triangle closure); the add_edges body.
+  void insert_one(Edge raw);
+  /// Deletes one stream edge: subtracts the triangles it currently closes,
+  /// then unlinks it from the hash adjacency.  Exact inverse of insert_one.
+  void delete_one(Edge raw);
+
   std::unordered_set<std::uint64_t> edge_set_;  ///< canonical edge keys
   std::vector<std::vector<NodeId>> adj_;
   TriangleCount total_ = 0;
   std::uint64_t edges_streamed_ = 0;
   std::uint64_t edges_stored_ = 0;
+  std::uint64_t edges_deleted_ = 0;   ///< deletions that removed an edge
+  std::uint64_t delete_misses_ = 0;   ///< deletions of absent edges (no-op)
   std::uint64_t probes_ = 0;  ///< membership probes (the work profile)
   PhaseTimes times_;
 };

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/math_util.hpp"
 #include "tc/kernel.hpp"
@@ -12,6 +13,28 @@ namespace pimtc::engine {
 CountReport TriangleCountEngine::count(const graph::EdgeList& graph) {
   add_edges(graph.edges());
   return recount();
+}
+
+void TriangleCountEngine::apply(std::span<const EdgeUpdate> updates) {
+  std::vector<Edge> inserts;
+  inserts.reserve(updates.size());
+  for (const EdgeUpdate& u : updates) {
+    if (!u.is_insert) {
+      throw std::invalid_argument(
+          std::string(name()) +
+          " backend does not support edge deletions under this "
+          "configuration (capabilities().deletions is false)");
+    }
+    inserts.push_back(u.edge);
+  }
+  add_edges(inserts);
+}
+
+void TriangleCountEngine::remove_edges(std::span<const Edge> batch) {
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(batch.size());
+  for (const Edge e : batch) updates.push_back(delete_of(e));
+  apply(updates);
 }
 
 void EngineConfig::validate() const {

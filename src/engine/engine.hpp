@@ -19,9 +19,17 @@
 //         engine::CountReport r = eng->recount();
 //       }
 //
+//   * fully-dynamic session (± update streams):
+//       auto eng = engine::make_engine("pim", cfg);
+//       eng->apply(updates);  // span<const EdgeUpdate>, inserts + deletes
+//       engine::CountReport r = eng->recount();
+//
 // An engine is a stateful session: edges accumulate across add_edges()
 // calls (count() is add_edges + recount in one step) and recount() is
 // idempotent — recounting without new edges returns the same estimate.
+// apply() generalizes add_edges to signed updates; backends that cannot
+// delete (capabilities().deletions == false) accept all-insert batches and
+// reject mixed ones.
 #pragma once
 
 #include <span>
@@ -41,6 +49,9 @@ struct EngineCapabilities {
   bool streaming = false;
   /// recount() cost is proportional to the new edges, not the whole graph.
   bool incremental_recount = false;
+  /// apply() accepts deletions under this configuration (fully-dynamic
+  /// streams); without it apply() only forwards all-insert batches.
+  bool deletions = false;
   /// Reported device phase times are model-simulated, not wall-clock.
   bool simulated_time = false;
   /// CountReport::work is populated with a meaningful operation profile.
@@ -62,6 +73,19 @@ class TriangleCountEngine {
   /// loops are dropped; edges are expected deduplicated across the whole
   /// stream (see graph::preprocess) unless the backend states otherwise.
   virtual void add_edges(std::span<const Edge> batch) = 0;
+
+  /// Streams one batch of a fully-dynamic (±) update stream.  The base
+  /// implementation forwards all-insert batches to add_edges() — so every
+  /// backend replays insert-only streams through its legacy path,
+  /// bit-identically — and throws std::invalid_argument on deletions;
+  /// backends with capabilities().deletions override it.  A deletion must
+  /// target a previously inserted edge (either orientation); deleting an
+  /// edge that was never inserted is a no-op only where the backend can
+  /// detect it exactly (cpu-incremental).
+  virtual void apply(std::span<const EdgeUpdate> updates);
+
+  /// Convenience: apply() with every update a deletion.
+  void remove_edges(std::span<const Edge> batch);
 
   /// Counts over everything streamed so far and returns the corrected
   /// estimate.  Idempotent: recounting without new edges returns the same

@@ -10,6 +10,10 @@ void PimEngine::add_edges(std::span<const Edge> batch) {
   counter_.add_edges(batch);
 }
 
+void PimEngine::apply(std::span<const EdgeUpdate> updates) {
+  counter_.apply(updates);
+}
+
 CountReport PimEngine::recount() {
   const tc::TcResult r = counter_.recount();
 
@@ -34,6 +38,10 @@ CountReport PimEngine::recount() {
   report.max_unit_edges = r.max_dpu_edges;
   report.reservoir_overflows = r.reservoir_overflows;
   report.used_incremental = r.used_incremental;
+  report.edges_deleted = r.edges_deleted;
+  report.sample_evictions = r.sample_evictions;
+  report.delete_misses = r.delete_misses;
+  report.dirty_full_recounts = r.dirty_full_recounts;
   report.num_colors = r.num_colors;
   report.placement = r.placement;
   report.dpu_utilization = r.dpu_utilization;
@@ -68,6 +76,10 @@ EngineCapabilities PimEngine::capabilities() const {
   caps.exact = config_.uniform_p >= 1.0 && config_.sample_capacity_edges == 0;
   caps.streaming = true;
   caps.incremental_recount = config_.incremental;
+  // Deletions run random pairing on the resident samples; they cannot
+  // compose with the DOULION coin (the original insertion's keep decision
+  // is not reconstructible), so exact-ingest configs only.
+  caps.deletions = config_.uniform_p >= 1.0;
   caps.simulated_time = true;
   caps.work_profile = false;
   return caps;

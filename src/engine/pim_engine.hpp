@@ -16,6 +16,7 @@ class PimEngine final : public TriangleCountEngine {
   explicit PimEngine(const EngineConfig& config);
 
   void add_edges(std::span<const Edge> batch) override;
+  void apply(std::span<const EdgeUpdate> updates) override;
   CountReport recount() override;
   [[nodiscard]] EngineCapabilities capabilities() const override;
   [[nodiscard]] const char* name() const noexcept override { return "pim"; }

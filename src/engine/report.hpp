@@ -114,8 +114,25 @@ struct CountReport {
   std::uint64_t edges_replicated = 0;  ///< total sent to units (~C x kept)
   std::uint64_t min_unit_edges = 0;    ///< load balance: min t_d
   std::uint64_t max_unit_edges = 0;    ///< load balance: max t_d
-  std::uint64_t reservoir_overflows = 0;  ///< units with t_d > M
+  std::uint64_t reservoir_overflows = 0;  ///< units with effective t_d > M
   bool used_incremental = false;  ///< this recount took the incremental path
+
+  // ---- fully-dynamic stream diagnostics -----------------------------------
+  /// Delete updates applied to the session (stream space; loops excluded).
+  std::uint64_t edges_deleted = 0;
+  /// PIM: resident sample entries evicted by deletions, summed over cores
+  /// (replicated space).  CPU backends: exact stored edges removed.
+  std::uint64_t sample_evictions = 0;
+  /// Deletions of edges that were not present, dropped as no-ops.  Exact
+  /// for cpu-incremental (stream space).  For PIM: replicated space, and
+  /// detected only while a core's sample still covers its live subgraph —
+  /// always in the exact regime; after a reservoir overflow a phantom
+  /// delete is indistinguishable from a discarded edge and silently
+  /// becomes an out-of-sample deletion (the caller contract).
+  std::uint64_t delete_misses = 0;
+  /// PIM: cores forced to a full pass by deletion-dirtied samples during
+  /// this otherwise-incremental recount.
+  std::uint32_t dirty_full_recounts = 0;
 
   // ---- partition / placement diagnostics (PIM backend) --------------------
   std::uint32_t num_colors = 0;  ///< resolved C (auto selection filled in)

@@ -18,6 +18,30 @@ constexpr std::array<char, 8> kMagic = {'P', 'I', 'M', 'T', 'C', 'C', 'O', '1'};
                            "': " + what);
 }
 
+/// First non-blank character of `line`, or nullptr for a whitespace-only
+/// line.  Downloaded SNAP/KONECT files routinely end with a blank-ish line
+/// or indent their '#' comments; both must parse as skippable, not as
+/// malformed data.
+const char* skip_blank(const std::string& line) {
+  const char* p = line.c_str();
+  while (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\f' || *p == '\v') {
+    ++p;
+  }
+  return *p == '\0' ? nullptr : p;
+}
+
+/// Parses "u v" starting at `p`; fails on overflow-sized ids.
+Edge parse_edge_pair(const char* p, const std::filesystem::path& path) {
+  char* end = nullptr;
+  const std::uint64_t u = std::strtoull(p, &end, 10);
+  if (end == p) fail(path, "malformed line (expected two integers)");
+  p = end;
+  const std::uint64_t v = std::strtoull(p, &end, 10);
+  if (end == p) fail(path, "malformed line (expected two integers)");
+  if (u > 0xffffffffull || v > 0xffffffffull) fail(path, "node id > 2^32-1");
+  return Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)};
+}
+
 }  // namespace
 
 EdgeList read_coo_text(const std::filesystem::path& path) {
@@ -25,23 +49,31 @@ EdgeList read_coo_text(const std::filesystem::path& path) {
   if (!in) fail(path, "cannot open for reading");
   EdgeList list;
   std::string line;
-  std::size_t lineno = 0;
   while (std::getline(in, line)) {
-    ++lineno;
-    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
-    std::uint64_t u = 0;
-    std::uint64_t v = 0;
-    const char* p = line.c_str();
-    char* end = nullptr;
-    u = std::strtoull(p, &end, 10);
-    if (end == p) fail(path, "malformed line (expected two integers)");
-    p = end;
-    v = std::strtoull(p, &end, 10);
-    if (end == p) fail(path, "malformed line (expected two integers)");
-    if (u > 0xffffffffull || v > 0xffffffffull) fail(path, "node id > 2^32-1");
-    list.push_back(Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    const char* p = skip_blank(line);
+    if (p == nullptr || *p == '#' || *p == '%') continue;
+    list.push_back(parse_edge_pair(p, path));
   }
   return list;
+}
+
+std::vector<EdgeUpdate> read_update_stream(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+  std::vector<EdgeUpdate> updates;
+  std::string line;
+  while (std::getline(in, line)) {
+    const char* p = skip_blank(line);
+    if (p == nullptr || *p == '#' || *p == '%') continue;
+    bool is_insert = true;
+    if (*p == '+' || *p == '-') {
+      is_insert = *p == '+';
+      ++p;
+    }
+    const Edge e = parse_edge_pair(p, path);
+    updates.push_back(is_insert ? insert_of(e) : delete_of(e));
+  }
+  return updates;
 }
 
 void write_coo_text(const EdgeList& list, const std::filesystem::path& path) {

@@ -1,16 +1,24 @@
 // COO file IO.
 //
-// Text format: one "u v" pair per line; lines starting with '#' or '%' are
-// comments (SNAP / KONECT conventions).  Binary format: magic "PIMTCCO1",
-// a uint64 edge count, then raw little-endian Edge records — the fast path
-// for benchmark fixtures.  MatrixMarket (".mtx") coordinate files — the
-// SuiteSparse collection's native format — load directly: the banner and
-// '%' comments are handled, entries are 1-based and converted, and any
-// value column (real/integer/pattern) is ignored.
+// Text format: one "u v" pair per line; lines whose first non-blank
+// character is '#' or '%' are comments (SNAP / KONECT conventions) and
+// whitespace-only lines are skipped — downloaded datasets routinely carry
+// a trailing blank line or indented comments.  Binary format: magic
+// "PIMTCCO1", a uint64 edge count, then raw little-endian Edge records —
+// the fast path for benchmark fixtures.  MatrixMarket (".mtx") coordinate
+// files — the SuiteSparse collection's native format — load directly: the
+// banner and '%' comments are handled, entries are 1-based and converted,
+// and any value column (real/integer/pattern) is ignored.
+//
+// Update-stream format (fully-dynamic counting, `pimtc count --stream=`):
+// one update per line — "+u v" inserts, "-u v" deletes, a bare "u v" is an
+// insert; the sign may be separated from u by whitespace.  Comments and
+// blank lines follow the text-COO rules.
 #pragma once
 
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "graph/coo.hpp"
 
@@ -32,5 +40,10 @@ void write_coo_binary(const EdgeList& list, const std::filesystem::path& path);
 /// Dispatches on extension: ".bin" -> binary, ".mtx" -> MatrixMarket,
 /// anything else -> text.
 [[nodiscard]] EdgeList read_coo(const std::filesystem::path& path);
+
+/// Reads a ± update stream ("+u v" / "-u v" / bare "u v" per line) for the
+/// fully-dynamic counting session.
+[[nodiscard]] std::vector<EdgeUpdate> read_update_stream(
+    const std::filesystem::path& path);
 
 }  // namespace pimtc::graph

@@ -25,6 +25,13 @@ void MisraGries::update(NodeId node) {
   decrement_all();
 }
 
+void MisraGries::remove(NodeId node) {
+  ++removals_;
+  if (auto it = counters_.find(node); it != counters_.end()) {
+    if (--it->second == 0) counters_.erase(it);
+  }
+}
+
 void MisraGries::decrement_all() {
   // Decrement every counter and drop zeros.  Amortized O(1) per update:
   // each decrement pass removes K units of "credit" paid in by insertions.

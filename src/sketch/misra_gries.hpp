@@ -32,6 +32,20 @@ class MisraGries {
     update(e.v);
   }
 
+  /// Processes one deletion of `node` (fully-dynamic streams): a tracked
+  /// counter is decremented (and dropped at zero); an untracked node is a
+  /// no-op.  The summary stays a conservative under-estimate of the net
+  /// frequency — the MG error bound n/K is stated for insert-only streams,
+  /// so dynamic-mode consumers treat estimates as degree *hints* (remap
+  /// ordering), never as exact counts.
+  void remove(NodeId node);
+
+  /// Processes both endpoints of a deleted edge.
+  void remove_edge(Edge e) {
+    remove(e.u);
+    remove(e.v);
+  }
+
   /// Merges another summary into this one, keeping the K largest combined
   /// counters and subtracting the (K+1)-th (the standard mergeable-summary
   /// rule; the result is again a valid MG summary for the combined stream).
@@ -48,6 +62,8 @@ class MisraGries {
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::size_t size() const noexcept { return counters_.size(); }
   [[nodiscard]] std::uint64_t updates() const noexcept { return updates_; }
+  /// Deletions absorbed via remove()/remove_edge().
+  [[nodiscard]] std::uint64_t removals() const noexcept { return removals_; }
 
   /// All tracked (node, estimate) pairs, unsorted.
   [[nodiscard]] const std::unordered_map<NodeId, std::uint64_t>& entries()
@@ -60,6 +76,7 @@ class MisraGries {
 
   std::size_t capacity_;
   std::uint64_t updates_ = 0;
+  std::uint64_t removals_ = 0;
   std::unordered_map<NodeId, std::uint64_t> counters_;
 };
 

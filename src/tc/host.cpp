@@ -114,6 +114,11 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
   // Persistent ingestion state: sized once, reused by every batch.
   partition_.resize(pool_->size());
   for (auto& per_triplet : partition_) per_triplet.resize(dpus);
+  update_partition_.resize(pool_->size());
+  for (auto& per_triplet : update_partition_) per_triplet.resize(dpus);
+  mirrors_.resize(dpus);
+  touched_slots_.resize(dpus);
+  triplet_dirty_.assign(dpus, 0);
   staging_.resize(dpus);
   cursors_.resize(dpus);
   batch_totals_.resize(dpus);
@@ -236,16 +241,22 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
       // The plan is a bijection, so each triplet touches its own bank.
       pim::Dpu& dpu = system_->dpu(plan_.dpu_of(static_cast<std::uint32_t>(t)));
       sketch::ReservoirPolicy& reservoir = reservoirs_[t];
+      sketch::SampleMirror<Edge>& mirror = mirrors_[t];
       sketch::ReservoirStaging<Edge>& staging = staging_[t];
       auto& [thread_idx, offset] = cursors_[t];
 
-      // Stage up to round_cap reservoir decisions host-side.
+      // Stage up to round_cap reservoir decisions host-side.  Once a
+      // deletion has materialized the mirrors, they track the decisions
+      // too, so the host keeps knowing the banks' resident content;
+      // insert-only sessions skip that bookkeeping entirely.
       staging.begin(reservoir.stored());
       std::uint64_t budget = round_cap;
       while (budget > 0 && thread_idx < partition_.size()) {
         const auto& src = partition_[thread_idx][t];
         while (offset < src.size() && budget > 0) {
-          staging.stage(reservoir, src[offset]);
+          const sketch::ReservoirDecision d = reservoir.offer();
+          staging.stage_decision(d, src[offset]);
+          if (mirrors_valid_) mirror.apply(d, src[offset]);
           ++offset;
           --budget;
           ++received_[t];
@@ -291,27 +302,290 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
     // The host work of this staging round (plus, for the first round, the
     // partitioning that preceded it) is the window that hides the previous
     // flush's in-flight device time.
-    const double window =
-        (round == 0 ? host_window_s : 0.0) + stage_timer.elapsed_s();
-    drain_in_flight(window);
+    settle_flush_round((round == 0 ? host_window_s : 0.0) +
+                       stage_timer.elapsed_s());
+  }
 
-    // Model this round's device time: one rank-parallel scatter of the
-    // per-DPU staged images, then the DPU-side receive (slowest core gates).
-    const double xfer_s = system_->charge_scatter(
-        flush_bytes_, config_.pipelined_ingest
-                          ? nullptr
-                          : &pim::PimPhaseTimes::sample_creation_s);
-    double max_delta = 0.0;
-    for (std::uint32_t d = 0; d < num_dpus; ++d) {
-      max_delta =
-          std::max(max_delta, system_->dpu(d).cycles() - cycles_before_[d]);
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    edges_replicated_ += received_[t];
+  }
+}
+
+void PimTriangleCounter::settle_flush_round(double host_window_s) {
+  drain_in_flight(host_window_s);
+
+  // Model this round's device time: one rank-parallel scatter of the
+  // per-DPU staged images, then the DPU-side receive (slowest core gates).
+  const double xfer_s = system_->charge_scatter(
+      flush_bytes_, config_.pipelined_ingest
+                        ? nullptr
+                        : &pim::PimPhaseTimes::sample_creation_s);
+  double max_delta = 0.0;
+  for (std::uint32_t d = 0; d < system_->num_dpus(); ++d) {
+    max_delta =
+        std::max(max_delta, system_->dpu(d).cycles() - cycles_before_[d]);
+  }
+  const double receive_s = pim_config_.cycles_to_seconds(max_delta);
+  if (config_.pipelined_ingest) {
+    in_flight_device_s_ = xfer_s + receive_s;
+  } else {
+    system_->charge_host(receive_s, &pim::PimPhaseTimes::sample_creation_s);
+  }
+}
+
+void PimTriangleCounter::materialize_mirrors() {
+  if (mirrors_valid_) return;
+  // The previous batch's modeled receive must land before its sample can
+  // be read back.
+  drain_in_flight(0.0);
+
+  const std::uint32_t num_dpus = system_->num_dpus();
+  std::vector<std::vector<Edge>> resident(num_dpus);
+  std::vector<pim::GatherSpan> gathers(num_dpus);
+  bool any = false;
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    const std::uint64_t n = reservoirs_[t].stored();
+    if (n == 0) continue;
+    any = true;
+    resident[t].resize(static_cast<std::size_t>(n));
+    gathers[plan_.dpu_of(t)] = {MramLayout::sample_offset(),
+                                resident[t].data(), n * sizeof(Edge)};
+  }
+  if (any) {
+    system_->gather(gathers, &pim::PimPhaseTimes::sample_creation_s);
+  }
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    mirrors_[t].assign(std::move(resident[t]));
+  }
+  mirrors_valid_ = true;
+}
+
+void PimTriangleCounter::remove_edges(std::span<const Edge> batch) {
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(batch.size());
+  for (const Edge e : batch) updates.push_back(delete_of(e));
+  apply(updates);
+}
+
+void PimTriangleCounter::apply(std::span<const EdgeUpdate> batch) {
+  bool any_delete = false;
+  for (const EdgeUpdate& u : batch) {
+    if (!u.is_insert) {
+      any_delete = true;
+      break;
     }
-    const double receive_s = pim_config_.cycles_to_seconds(max_delta);
-    if (config_.pipelined_ingest) {
-      in_flight_device_s_ = xfer_s + receive_s;
+  }
+  if (!any_delete) {
+    // An all-insert batch is exactly the add_edges case; routing it there
+    // keeps insert-only streams on the legacy code path verbatim (same RNG
+    // draws, same staging images — bit-identical estimates and transfers).
+    std::vector<Edge> edges;
+    edges.reserve(batch.size());
+    for (const EdgeUpdate& u : batch) edges.push_back(u.edge);
+    add_edges(edges);
+    return;
+  }
+  if (config_.uniform_p < 1.0) {
+    throw std::invalid_argument(
+        "PimTriangleCounter::apply: deletions cannot compose with uniform "
+        "sampling (uniform_p < 1): the keep coin of the original insertion "
+        "is not reconstructible, so a deletion cannot be routed "
+        "consistently");
+  }
+
+  // First deletion ever: build the occupancy mirrors from the resident
+  // bank contents (one modeled rank-parallel gather).
+  materialize_mirrors();
+
+  WallTimer host_timer;
+
+  // Partition the ± stream per thread per triplet — the same shape as the
+  // insert path, and the same deterministic routing: a deletion reaches
+  // exactly the triplets its insertion reached (the color hash is
+  // orientation- and sign-blind).
+  for (auto& per_triplet : update_partition_) {
+    for (auto& v : per_triplet) v.clear();
+  }
+  const color::EdgePartitioner partitioner(hash_, plan_.table());
+  pool_->parallel_chunks(
+      batch.size(), [&](std::size_t t, std::size_t lo, std::size_t hi) {
+        auto& batches = update_partition_[t];
+        for (std::size_t i = lo; i < hi; ++i) {
+          const EdgeUpdate& u = batch[i];
+          if (u.edge.is_loop()) continue;
+          for (const std::uint32_t d : partitioner.targets(u.edge)) {
+            batches[d].push_back(u);
+          }
+        }
+      });
+
+  // Stream bookkeeping.  Deletions decrement the Misra-Gries degree
+  // summaries in place; they cannot ride the mergeable per-thread
+  // summaries (a thread-local table cannot decrement a counter tracked
+  // only globally), so the mixed path updates the global table serially.
+  edges_streamed_ += batch.size();
+  for (const EdgeUpdate& u : batch) {
+    if (u.edge.is_loop()) continue;
+    if (u.is_insert) {
+      ++edges_kept_;
     } else {
-      system_->charge_host(receive_s, &pim::PimPhaseTimes::sample_creation_s);
+      ++edges_deleted_;
     }
+    if (config_.misra_gries_enabled) {
+      if (u.is_insert) {
+        global_mg_.update_edge(u.edge);
+      } else {
+        global_mg_.remove_edge(u.edge);
+      }
+    }
+  }
+  apply_updates_to_samples(host_timer.elapsed_s());
+
+  system_->charge_host(host_timer.elapsed_s(), &pim::PimPhaseTimes::host_s);
+}
+
+void PimTriangleCounter::apply_updates_to_samples(double host_window_s) {
+  const std::uint32_t num_dpus = system_->num_dpus();
+  const std::uint32_t recv_tasklets = config_.tasklets;
+  const std::uint64_t sample_base = MramLayout::sample_offset();
+
+  std::uint64_t max_per_triplet = 0;
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    std::uint64_t total = 0;
+    for (const auto& per_triplet : update_partition_) {
+      total += per_triplet[t].size();
+    }
+    batch_totals_[t] = total;
+    max_per_triplet = std::max(max_per_triplet, total);
+  }
+  if (max_per_triplet == 0) {
+    drain_in_flight(host_window_s);
+    return;
+  }
+
+  if (plan_.policy() == color::PlacementPolicy::kGreedyBalance &&
+      !placement_observed_) {
+    placement_observed_ = true;
+    apply_placement(plan_.balanced_placement(batch_totals_));
+  }
+
+  WallTimer stage_timer;
+  std::fill(received_.begin(), received_.end(), 0);
+
+  // Phase 1 (host only): replay each triplet's update list in stream
+  // order against its policy and mirror, collecting the touched slots.
+  // The mirror's final content is the ground truth the flush reads, so
+  // intermediate values never need materializing.
+  pool_->parallel_for(num_dpus, [&](std::size_t t) {
+    sketch::ReservoirPolicy& reservoir = reservoirs_[t];
+    sketch::SampleMirror<Edge>& mirror = mirrors_[t];
+    std::vector<std::uint64_t>& touched = touched_slots_[t];
+    touched.clear();
+
+    bool lost_resident = false;
+    for (const auto& per_triplet : update_partition_) {
+      for (const EdgeUpdate& u : per_triplet[t]) {
+        if (u.is_insert) {
+          const sketch::ReservoirDecision d = reservoir.offer();
+          mirror.apply(d, u.edge);
+          if (d.action != sketch::ReservoirDecision::Action::kDiscard) {
+            touched.push_back(d.slot);
+          }
+        } else {
+          // Deletions match either orientation of the stored edge.
+          auto slot = mirror.evict(u.edge);
+          if (!slot) slot = mirror.evict(u.edge.reversed());
+          if (slot) {
+            reservoir.remove_resident();
+            lost_resident = true;
+            touched.push_back(*slot);
+          } else {
+            (void)reservoir.remove_missing();
+          }
+        }
+        ++received_[t];
+      }
+    }
+    if (lost_resident) triplet_dirty_[t] = 1;
+
+    // Collapse to the set of live touched slots; dead slots (at or above
+    // the final stored prefix) never reach the device.
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+    const std::uint64_t stored = reservoir.stored();
+    while (!touched.empty() && touched.back() >= stored) touched.pop_back();
+  });
+
+  // Phase 2: flush the touched slots (final values, runs of consecutive
+  // slots — the staged-record shape of the insert path's replacement
+  // runs), in rounds bounded by the same per-DPU staging capacity the
+  // insert path honors.
+  std::uint64_t max_touched = 0;
+  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    max_touched = std::max<std::uint64_t>(max_touched,
+                                          touched_slots_[t].size());
+  }
+  if (max_touched == 0) {
+    drain_in_flight(host_window_s + stage_timer.elapsed_s());
+    for (std::uint32_t t = 0; t < num_dpus; ++t) {
+      edges_replicated_ += received_[t];
+    }
+    return;
+  }
+  const std::uint64_t round_cap = config_.staging_capacity_edges == 0
+                                      ? max_touched
+                                      : config_.staging_capacity_edges;
+  const std::uint64_t rounds = ceil_div(max_touched, round_cap);
+
+  for (std::uint64_t round = 0; round < rounds; ++round) {
+    WallTimer round_timer;
+    for (std::uint32_t d = 0; d < num_dpus; ++d) {
+      cycles_before_[d] = system_->dpu(d).cycles();
+    }
+
+    pool_->parallel_for(num_dpus, [&](std::size_t t) {
+      pim::Dpu& dpu =
+          system_->dpu(plan_.dpu_of(static_cast<std::uint32_t>(t)));
+      const sketch::SampleMirror<Edge>& mirror = mirrors_[t];
+      const std::vector<std::uint64_t>& touched = touched_slots_[t];
+      const std::size_t lo =
+          static_cast<std::size_t>(std::min<std::uint64_t>(
+              round * round_cap, touched.size()));
+      const std::size_t hi =
+          static_cast<std::size_t>(std::min<std::uint64_t>(
+              (round + 1) * round_cap, touched.size()));
+
+      std::uint64_t staged_bytes = 0;
+      std::vector<Edge> run;
+      std::size_t i = lo;
+      while (i < hi) {
+        run.clear();
+        const std::uint64_t first = touched[i];
+        std::uint64_t expected = first;
+        while (i < hi && touched[i] == expected) {
+          run.push_back(mirror.at(expected));
+          ++expected;
+          ++i;
+        }
+        const std::uint64_t bytes = run.size() * sizeof(Edge);
+        dpu.mram().write(sample_base + first * sizeof(Edge), run.data(),
+                         static_cast<std::size_t>(bytes));
+        dpu.serial_dma(bytes);
+        staged_bytes += run.size() * kStagedReplaceBytes;
+      }
+      if (staged_bytes > 0) {
+        dpu.charge_dma_bulk(staged_bytes, 2048);  // landing-zone read
+        dpu.charge_parallel_instr(
+            (staged_bytes / kStagedReplaceBytes) * config_.cost.edge_copy,
+            recv_tasklets);
+      }
+      flush_bytes_[plan_.dpu_of(static_cast<std::uint32_t>(t))] =
+          staged_bytes;
+    });
+
+    settle_flush_round(
+        (round == 0 ? host_window_s + stage_timer.elapsed_s() : 0.0) +
+        round_timer.elapsed_s());
   }
 
   for (std::uint32_t t = 0; t < num_dpus; ++t) {
@@ -428,9 +702,16 @@ TcResult PimTriangleCounter::recount() {
   }
 
   // Can this recount take the incremental path?  Requires a prior full
-  // count with persistence and strictly append-only samples since then.
+  // count with persistence and append-only samples since then.  The gate is
+  // effective_seen (net size + pending deletions): it is non-decreasing and
+  // exceeds the capacity exactly when a reservoir has ever replaced — on
+  // insert-only streams it equals seen(), the legacy condition.  Triplets
+  // whose sample lost an edge (triplet_dirty_) are handled per core below:
+  // they alone fall back to a full pass while the rest stay incremental.
   bool overflowed = false;
-  for (const auto& r : reservoirs_) overflowed |= r.seen() > capacity_;
+  for (const auto& r : reservoirs_) {
+    overflowed |= r.effective_seen() > capacity_;
+  }
   const bool incremental = config_.incremental && sorted_valid_ && !overflowed;
 
   // High-degree remap table, broadcast to every core and frozen once
@@ -451,7 +732,9 @@ TcResult PimTriangleCounter::recount() {
 
   // Write control blocks (read-modify-write: the kernel owns sorted_size
   // and the sorted-valid flag).  The plan routes each triplet's block to
-  // its bank.
+  // its bank.  A dirty triplet (its sample lost an edge since the last
+  // count) gets its persistent sorted arcs invalidated here — only its
+  // core pays the full rebuild, the rest keep their S*.
   for (std::uint32_t t = 0; t < num_dpus; ++t) {
     pim::Dpu& dpu = system_->dpu(plan_.dpu_of(t));
     DpuMeta meta = dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
@@ -459,7 +742,8 @@ TcResult PimTriangleCounter::recount() {
     meta.edges_seen = reservoirs_[t].seen();
     meta.sample_capacity = capacity_;
     meta.num_remap = static_cast<std::uint32_t>(remap.size());
-    if (config_.incremental && !overflowed && sorted_valid_) {
+    const bool valid_t = sorted_valid_ && !triplet_dirty_[t];
+    if (config_.incremental && !overflowed && valid_t) {
       meta.flags |= DpuMeta::kFlagPersistSorted;
     } else if (config_.incremental && !overflowed) {
       meta.flags |= DpuMeta::kFlagPersistSorted;
@@ -494,16 +778,33 @@ TcResult PimTriangleCounter::recount() {
   for (std::uint32_t d = 0; d < num_dpus; ++d) {
     instr_before += system_->dpu(d).total_instructions();
   }
+  // Per-core kernel selection: in incremental mode, only the cores whose
+  // triplet went dirty (deletion evicted a resident edge) re-run the full
+  // pipeline — rebuilding their persistent arcs — while every clean core
+  // counts just its new edges.
+  std::uint32_t dirty_full = 0;
+  std::vector<std::uint8_t> full_pass(num_dpus, incremental ? 0 : 1);
   if (incremental) {
-    system_->launch(
-        [&params](pim::Dpu& dpu) { run_incremental_kernel(dpu, params); },
-        &pim::PimPhaseTimes::count_s);
-  } else {
-    system_->launch(
-        [&params](pim::Dpu& dpu) { run_count_kernel(dpu, params); },
-        &pim::PimPhaseTimes::count_s);
-    sorted_valid_ = config_.incremental && !overflowed;
+    for (std::uint32_t t = 0; t < num_dpus; ++t) {
+      if (triplet_dirty_[t]) {
+        full_pass[plan_.dpu_of(t)] = 1;
+        ++dirty_full;
+      }
+    }
   }
+  system_->launch(
+      [&params, &full_pass](pim::Dpu& dpu) {
+        if (full_pass[dpu.id()]) {
+          run_count_kernel(dpu, params);
+        } else {
+          run_incremental_kernel(dpu, params);
+        }
+      },
+      &pim::PimPhaseTimes::count_s);
+  // After this launch every persisted arc array is fresh again: clean cores
+  // merged their batch, dirty and first-time cores rebuilt from scratch.
+  sorted_valid_ = config_.incremental && !overflowed;
+  std::fill(triplet_dirty_.begin(), triplet_dirty_.end(), 0);
   std::uint64_t instr_after = 0;
   for (std::uint32_t d = 0; d < num_dpus; ++d) {
     instr_after += system_->dpu(d).total_instructions();
@@ -525,6 +826,8 @@ TcResult PimTriangleCounter::recount() {
   result.edges_kept = edges_kept_;
   result.edges_replicated = edges_replicated_;
   result.used_incremental = incremental;
+  result.dirty_full_recounts = dirty_full;
+  result.edges_deleted = edges_deleted_;
   result.num_colors = config_.num_colors;
   result.placement = color::to_string(plan_.policy());
   result.dpu_utilization = static_cast<double>(num_dpus) /
@@ -551,7 +854,16 @@ TcResult PimTriangleCounter::recount() {
     loads[t] = seen;
     min_seen = std::min(min_seen, seen);
     max_seen = std::max(max_seen, seen);
-    if (seen > capacity_) ++result.reservoir_overflows;
+    result.sample_evictions += reservoirs_[t].evictions();
+    result.delete_misses += reservoirs_[t].phantom_deletions();
+
+    // Random-pairing correction: the t of the estimator is the current net
+    // population plus pending deletions (effective_seen), under which the
+    // resident sample is a uniform min(M, t)-subset restricted to live
+    // edges — on insert-only streams effective_seen == seen, the legacy
+    // factor bit for bit.
+    const std::uint64_t eff = reservoirs_[t].effective_seen();
+    if (eff > capacity_) ++result.reservoir_overflows;
 
     const std::uint32_t kind = plan_.table().triplet(t).kind();
     result.kind_edges_seen[kind - 1] += seen;
@@ -559,7 +871,7 @@ TcResult PimTriangleCounter::recount() {
 
     const std::uint64_t raw = metas[plan_.dpu_of(t)].triangle_count;
     result.raw_total += raw;
-    const double q = reservoir_correction(capacity_, seen);
+    const double q = reservoir_correction(capacity_, eff);
     const double scaled = q > 0.0 ? static_cast<double>(raw) / q : 0.0;
     total_scaled += scaled;
     if (kind == 1) mono_scaled += scaled;

@@ -74,6 +74,24 @@ class PimTriangleCounter {
   /// graph::preprocess).
   void add_edges(std::span<const Edge> batch);
 
+  /// Streams one batch of a fully-dynamic (±) update stream.  Insertions
+  /// behave exactly like add_edges (an all-insert batch takes that code
+  /// path verbatim, so insert-only estimates are bit-identical); deletions
+  /// run random pairing on each touched triplet's reservoir: a deletion
+  /// that hits the resident sample evicts it (swap-filled from the top and
+  /// staged as ordinary slot writes on the same rank-parallel scatter
+  /// path), one that misses only adjusts the pairing counters, and either
+  /// way later insertions compensate.  Deleting an edge that was never
+  /// inserted is indistinguishable from one the reservoir discarded; the
+  /// caller owns that contract (the exact cpu-incremental engine is the
+  /// oracle for it).  Throws std::invalid_argument when the batch contains
+  /// deletions and uniform_p < 1 — the keep coin of the original insertion
+  /// is not reconstructible, so DOULION cannot compose with deletions.
+  void apply(std::span<const EdgeUpdate> batch);
+
+  /// Convenience wrapper: apply() with every update a deletion.
+  void remove_edges(std::span<const Edge> batch);
+
   /// Runs the counting kernel over the resident samples and returns the
   /// corrected estimate.  Idempotent: recounting without new edges returns
   /// the same result.
@@ -139,6 +157,29 @@ class PimTriangleCounter {
   /// first flush (the overlap window for any in-flight device work).
   void insert_into_samples(double host_window_s);
 
+  /// The fully-dynamic analogue: replays each triplet's ± update list in
+  /// stream order against its reservoir policy and sample mirror, then
+  /// flushes the touched slots (final values, runs of consecutive slots)
+  /// in rank-parallel scatters — staging_capacity_edges bounds the
+  /// records per round exactly as it bounds the insert path's images.
+  /// Marks triplets whose resident sample lost an edge as dirty: their
+  /// persistent sorted arcs are stale.
+  void apply_updates_to_samples(double host_window_s);
+
+  /// Builds the per-triplet sample mirrors from the resident bank contents
+  /// via one rank-parallel gather (charged to the ingest phase).  Insert-
+  /// only sessions never pay for mirror maintenance; the first deletion
+  /// materializes the occupancy map once, and both ingest paths keep it
+  /// current afterwards.
+  void materialize_mirrors();
+
+  /// Settles one flush round's modeled device time: rank-parallel scatter
+  /// of flush_bytes_ plus the DPU receive cycles accumulated since
+  /// cycles_before_, pipelined (held in flight) or charged per config.
+  /// `host_window_s` is the host work that overlaps the previous round's
+  /// in-flight device time.
+  void settle_flush_round(double host_window_s);
+
   /// Charges in-flight device time from the previous flush, hiding up to
   /// `host_overlap_s` of it under host work (pipelined ingest).
   void drain_in_flight(double host_overlap_s);
@@ -154,12 +195,27 @@ class PimTriangleCounter {
   std::unique_ptr<pim::PimSystem> system_;
   /// Reservoir state per *triplet*; the plan maps triplets to banks.
   std::vector<sketch::ReservoirPolicy> reservoirs_;
+  /// Host-side mirror of each triplet's resident sample (slot <-> edge).
+  /// Lazily materialized by the first deletion (materialize_mirrors);
+  /// afterwards maintained from the host's own staged decisions, so
+  /// deletions resolve membership and eviction slots with no device reads.
+  std::vector<sketch::SampleMirror<Edge>> mirrors_;
+  bool mirrors_valid_ = false;
   sketch::MisraGries global_mg_;
   std::uint64_t capacity_ = 0;
 
   // ---- persistent ingestion state (reused across batches) -----------------
   /// Per-thread, per-triplet partition buffers filled by the streaming phase.
   std::vector<std::vector<std::vector<Edge>>> partition_;
+  /// Same shape for ± update batches (the fully-dynamic path).
+  std::vector<std::vector<std::vector<EdgeUpdate>>> update_partition_;
+  /// Per-triplet scratch: slots touched by the current update batch.
+  std::vector<std::vector<std::uint64_t>> touched_slots_;
+  /// Per-triplet "resident sample lost an edge since the last count" flag;
+  /// a dirty triplet's persistent sorted arcs are invalid, so the next
+  /// recount runs the full kernel on that core only (the others keep the
+  /// incremental path).
+  std::vector<std::uint8_t> triplet_dirty_;
   /// Per-triplet staging images (reservoir decisions materialized host-side).
   std::vector<sketch::ReservoirStaging<Edge>> staging_;
   /// Per-triplet drain cursor into partition_ ((thread, offset) per round).
@@ -178,6 +234,7 @@ class PimTriangleCounter {
   std::uint64_t edges_streamed_ = 0;
   std::uint64_t edges_kept_ = 0;
   std::uint64_t edges_replicated_ = 0;
+  std::uint64_t edges_deleted_ = 0;  ///< delete updates applied (stream space)
   std::uint64_t batch_counter_ = 0;
   std::uint32_t rebalances_ = 0;
   /// greedy_balance: placement is re-planned once, from the first non-empty

@@ -39,8 +39,24 @@ struct TcResult {
   std::uint64_t edges_replicated = 0;  ///< total sent to PIM cores (~C x kept)
   std::uint64_t min_dpu_edges = 0;     ///< load balance: min t_d
   std::uint64_t max_dpu_edges = 0;     ///< load balance: max t_d
-  std::uint64_t reservoir_overflows = 0;  ///< cores with t_d > M
+  std::uint64_t reservoir_overflows = 0;  ///< cores with effective t_d > M
   bool used_incremental = false;  ///< this recount took the incremental path
+
+  // ---- fully-dynamic stream diagnostics ------------------------------------
+  /// Delete updates applied to the session so far (stream space; loops
+  /// excluded).
+  std::uint64_t edges_deleted = 0;
+  /// Resident sample entries evicted by deletions, summed over cores
+  /// (replicated space, like edges_replicated — a deletion evicts on every
+  /// core that sampled the edge).
+  std::uint64_t sample_evictions = 0;
+  /// Deletions provably targeting never-inserted edges, dropped as no-ops
+  /// (replicated space; detectable only on cores whose sample still covers
+  /// their whole live subgraph — always, in the exact regime).
+  std::uint64_t delete_misses = 0;
+  /// Cores whose triplet went dirty (sample lost an edge) and were forced
+  /// to a full pass during this otherwise-incremental recount.
+  std::uint32_t dirty_full_recounts = 0;
 
   // ---- partition / placement diagnostics ----------------------------------
   std::uint32_t num_colors = 0;  ///< resolved C (auto selection filled in)

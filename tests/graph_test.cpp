@@ -218,9 +218,66 @@ TEST_F(IoTest, TextSkipsComments) {
   EXPECT_EQ(g[1], (Edge{3, 4}));
 }
 
+TEST_F(IoTest, TextSkipsBlankishLinesAndIndentedComments) {
+  // A downloaded SNAP file routinely ends with a blank-ish line or indents
+  // its comments; neither may kill the load.
+  const auto path = dir_ / "blanks.txt";
+  std::ofstream out(path);
+  out << "  # indented comment\n"
+      << "\t% indented KONECT comment\n"
+      << "1 2\n"
+      << "\n"
+      << "   \t \n"
+      << "  3 4\n"
+      << "   \n";
+  out.close();
+  const EdgeList g = read_coo_text(path);
+  ASSERT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g[0], (Edge{1, 2}));
+  EXPECT_EQ(g[1], (Edge{3, 4}));
+}
+
+TEST_F(IoTest, TextStillRejectsMalformedLines) {
+  const auto path = dir_ / "bad.txt";
+  std::ofstream out(path);
+  out << "1 2\nnot an edge\n";
+  out.close();
+  EXPECT_THROW(read_coo_text(path), std::runtime_error);
+}
+
+TEST_F(IoTest, UpdateStreamParsesSignsCommentsAndBlanks) {
+  const auto path = dir_ / "updates.txt";
+  std::ofstream out(path);
+  out << "# header comment\n"
+      << "+1 2\n"
+      << "3 4\n"          // bare pair = insert
+      << "- 1 2\n"        // sign separated from the pair
+      << "  % indented comment\n"
+      << "\n"
+      << "-3 4\n"
+      << "  +5 6\n";
+  out.close();
+  const auto updates = read_update_stream(path);
+  ASSERT_EQ(updates.size(), 5u);
+  EXPECT_EQ(updates[0], insert_of(Edge{1, 2}));
+  EXPECT_EQ(updates[1], insert_of(Edge{3, 4}));
+  EXPECT_EQ(updates[2], delete_of(Edge{1, 2}));
+  EXPECT_EQ(updates[3], delete_of(Edge{3, 4}));
+  EXPECT_EQ(updates[4], insert_of(Edge{5, 6}));
+}
+
+TEST_F(IoTest, UpdateStreamRejectsGarbage) {
+  const auto path = dir_ / "bad_updates.txt";
+  std::ofstream out(path);
+  out << "+1 2\n~3 4\n";
+  out.close();
+  EXPECT_THROW(read_update_stream(path), std::runtime_error);
+}
+
 TEST_F(IoTest, MissingFileThrows) {
   EXPECT_THROW(read_coo_text(dir_ / "nope.txt"), std::runtime_error);
   EXPECT_THROW(read_coo_binary(dir_ / "nope.bin"), std::runtime_error);
+  EXPECT_THROW(read_update_stream(dir_ / "nope.txt"), std::runtime_error);
 }
 
 TEST_F(IoTest, MatrixMarketPatternSymmetric) {

@@ -341,5 +341,158 @@ TEST(UniformSamplerTest, DeterministicPerSeed) {
   }
 }
 
+// ---- fully-dynamic reservoir (random pairing) -------------------------------
+
+TEST(RandomPairingTest, InsertOnlyStreamIsBitIdenticalToLegacyPath) {
+  // The deletion extension must not perturb insert-only behavior: same RNG
+  // draws, same decisions, same counters.  Replay the documented legacy
+  // algorithm side by side.
+  constexpr std::uint64_t kM = 16;
+  ReservoirPolicy p(kM, 99);
+  Xoshiro256ss rng(99);  // the policy's own seed
+  for (std::uint64_t t = 1; t <= 500; ++t) {
+    const ReservoirDecision d = p.offer();
+    if (t <= kM) {
+      EXPECT_EQ(d.action, ReservoirDecision::Action::kAppend);
+      EXPECT_EQ(d.slot, t - 1);
+    } else if (rng.next_below(t) < kM) {
+      EXPECT_EQ(d.action, ReservoirDecision::Action::kReplace);
+      EXPECT_EQ(d.slot, rng.next_below(kM));
+    } else {
+      EXPECT_EQ(d.action, ReservoirDecision::Action::kDiscard);
+    }
+    EXPECT_EQ(p.effective_seen(), p.seen());
+  }
+}
+
+TEST(RandomPairingTest, DeleteAllReturnsToEmpty) {
+  ReservoirSampler<int> r(8, 7);
+  for (int i = 0; i < 6; ++i) r.offer(i);
+  for (int i = 0; i < 6; ++i) r.remove(i);
+  EXPECT_EQ(r.items().size(), 0u);
+  EXPECT_EQ(r.net_size(), 0u);
+  // effective_seen never decreases: the deletions stay pending until
+  // compensated by future insertions.
+  EXPECT_EQ(r.effective_seen(), 6u);
+}
+
+TEST(RandomPairingTest, UnderCapacitySampleTracksPopulationExactly) {
+  // While effective_seen <= M the sample must equal the live population
+  // after any ± sequence (this is what makes small dynamic runs exact).
+  ReservoirSampler<int> r(64, 11);
+  std::vector<int> live;
+  Xoshiro256ss rng(123);
+  int next = 0;
+  for (int step = 0; step < 40; ++step) {
+    const bool del = !live.empty() && rng.next_below(3) == 0;
+    if (del) {
+      const std::size_t idx =
+          static_cast<std::size_t>(rng.next_below(live.size()));
+      r.remove(live[idx]);
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+    } else {
+      r.offer(next);
+      live.push_back(next);
+      ++next;
+    }
+    ASSERT_LE(r.effective_seen(), 64u);
+    std::vector<int> sampled = r.items();
+    std::vector<int> expect = live;
+    std::sort(sampled.begin(), sampled.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(sampled, expect);
+  }
+}
+
+TEST(RandomPairingTest, InclusionStaysUniformUnderChurn) {
+  // After inserting a stream, deleting a fixed subset and re-inserting new
+  // items, every *live* item must still be included with equal probability.
+  constexpr std::uint64_t kM = 20;
+  constexpr int kFirst = 120;   // initial inserts: 0..119
+  constexpr int kDeleted = 40;  // then delete 0..39
+  constexpr int kSecond = 60;   // then insert 120..179
+  constexpr int kTrials = 4000;
+  std::vector<int> included(kFirst + kSecond, 0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ReservoirSampler<int> r(kM, 5000 + trial);
+    for (int i = 0; i < kFirst; ++i) r.offer(i);
+    for (int i = 0; i < kDeleted; ++i) r.remove(i);
+    for (int i = 0; i < kSecond; ++i) r.offer(kFirst + i);
+    for (const int item : r.items()) {
+      ASSERT_GE(item, kDeleted);  // deleted items never resurface
+      ++included[item];
+    }
+  }
+  const int live = kFirst - kDeleted + kSecond;
+  double mean = 0.0;
+  for (int i = kDeleted; i < kFirst + kSecond; ++i) mean += included[i];
+  mean /= live;
+  for (int i = kDeleted; i < kFirst + kSecond; ++i) {
+    EXPECT_NEAR(included[i], mean, mean * 0.35) << "item " << i;
+  }
+}
+
+TEST(RandomPairingTest, PhantomDeleteIsANoOpWhileSampleCoversPopulation) {
+  // A delete that misses while stored == net size is provably targeting a
+  // never-inserted item: counters must not move (registering it as
+  // del_out would discard the next live insertion and wrap size_ at 0).
+  ReservoirSampler<int> r(8, 13);
+  r.remove(42);  // delete into an empty stream: detected no-op
+  EXPECT_EQ(r.net_size(), 0u);
+  EXPECT_EQ(r.effective_seen(), 0u);
+  r.offer(1);
+  r.offer(2);
+  r.remove(99);  // never inserted, sample covers {1, 2}: detected no-op
+  ASSERT_EQ(r.items().size(), 2u);
+  EXPECT_EQ(r.effective_seen(), 2u);
+  r.offer(3);  // must NOT be eaten by phantom pairing debt
+  EXPECT_EQ(r.items().size(), 3u);
+}
+
+TEST(SampleMirrorTest, AssignRebuildsFromResidentContent) {
+  SampleMirror<int> m;
+  m.assign({5, 6, 7});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_TRUE(m.contains(6));
+  const auto slot = m.evict(5);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(*slot, 0u);
+  EXPECT_EQ(m.at(0), 7);  // swap-filled from the top
+}
+
+TEST(SampleMirrorTest, TracksAppendsReplacesAndEvictions) {
+  SampleMirror<int> m;
+  m.apply({ReservoirDecision::Action::kAppend, 0}, 10);
+  m.apply({ReservoirDecision::Action::kAppend, 1}, 11);
+  m.apply({ReservoirDecision::Action::kAppend, 2}, 12);
+  m.apply({ReservoirDecision::Action::kReplace, 1}, 21);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_FALSE(m.contains(11));
+  EXPECT_TRUE(m.contains(21));
+
+  // Evicting a middle slot swap-fills from the top and reports the slot.
+  const auto slot = m.evict(10);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(*slot, 0u);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.at(0), 12);  // top item moved down
+
+  EXPECT_FALSE(m.evict(999).has_value());  // miss is detected, not fatal
+}
+
+TEST(MisraGriesTest, RemoveDecrementsAndDropsAtZero) {
+  MisraGries mg(4);
+  mg.update_edge({1, 2});
+  mg.update_edge({1, 3});
+  EXPECT_EQ(mg.estimate(1), 2u);
+  mg.remove_edge({1, 2});
+  EXPECT_EQ(mg.estimate(1), 1u);
+  EXPECT_EQ(mg.estimate(2), 0u);  // dropped at zero
+  mg.remove(7);                   // untracked: a counted no-op
+  EXPECT_EQ(mg.estimate(7), 0u);
+  EXPECT_EQ(mg.removals(), 3u);
+  EXPECT_EQ(mg.updates(), 4u);  // insert updates unchanged by removals
+}
+
 }  // namespace
 }  // namespace pimtc::sketch

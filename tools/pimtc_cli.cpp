@@ -5,20 +5,32 @@
 //   pimtc count    --graph=g.txt [--backend=pim|cpu|cpu-incremental]
 //                  [--colors=8] [--p=1.0] [--capacity=0] [--misra-gries]
 //                  [--mg-top=32] [--incremental] [--json] [--exact-check]
+//                  [--stream=updates.txt] [--delete-frac=0.2]
 //   pimtc backends
 //
 // `count` runs the chosen backend through the engine registry and prints
 // the unified report (estimate, phase breakdown, load profile) as text or,
 // with --json, as a single JSON object; --exact-check runs a second backend
 // over the same stream through the same code path and verifies parity.
+// --stream replays a fully-dynamic "+u v" / "-u v" update file after the
+// graph; --delete-frac then deletes a seeded random fraction of the
+// graph's edges (synthetic churn).  Mixed ± sessions parity-check against
+// the exact cpu-incremental oracle by default.
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <vector>
+
+#include <algorithm>
 
 #include "coloring/partition_plan.hpp"
+#include "common/prng.hpp"
 #include "engine/registry.hpp"
 #include "tc/intersect.hpp"
 #include "graph/generators.hpp"
@@ -37,10 +49,11 @@ using namespace pimtc;
   std::fprintf(
       stderr,
       "usage:\n"
-      "  pimtc generate --kind=<rmat|er|ba|community|road|paper:NAME>\n"
+      "  pimtc generate --kind=<rmat|er|ba|ba-hubs|community|road|paper:NAME>\n"
       "                 --edges=<n> --out=<file> [--seed=<s>]\n"
       "  pimtc stats    --graph=<file>\n"
-      "  pimtc count    --graph=<file> [--backend=<name>] [--colors=<C>|auto]\n"
+      "  pimtc count    [--graph=<file>] [--stream=<file>] [--delete-frac=<f>]\n"
+      "                 [--backend=<name>] [--colors=<C>|auto]\n"
       "                 [--placement=identity|kind_interleave|greedy_balance]\n"
       "                 [--rebalance] [--p=<keep prob>]\n"
       "                 [--capacity=<edges/core>]\n"
@@ -52,11 +65,19 @@ using namespace pimtc;
       "                 [--json] [--exact-check] [--check-backend=<name>]\n"
       "  pimtc backends\n"
       "graphs load by extension: .bin (pimtc binary), .mtx (MatrixMarket),\n"
-      "anything else as 'u v' text\n");
+      "anything else as 'u v' text\n"
+      "count needs --graph and/or --stream; --stream replays a fully-dynamic\n"
+      "update file ('+u v' inserts, '-u v' deletes, bare 'u v' inserts)\n"
+      "after the graph; --delete-frac=<f> then deletes a seeded random\n"
+      "fraction f of the graph's edges (synthetic churn)\n");
   std::exit(2);
 }
 
-/// --key=value argument bag.
+/// --key=value argument bag.  Numeric accessors parse strictly: trailing
+/// garbage ("--edges=10k"), negative values for unsigned flags and
+/// overflow are all rejected with the offending flag named — never
+/// silently truncated through an atof round-trip (which also lost
+/// precision on 64-bit seeds above 2^53).
 class Args {
  public:
   Args(int argc, char** argv, int first) {
@@ -77,22 +98,72 @@ class Args {
     const auto it = kv_.find(key);
     return it == kv_.end() ? fallback : it->second;
   }
-  [[nodiscard]] double num(const std::string& key, double fallback) const {
+
+  /// Unsigned 64-bit integer flag (full seed range, no double round-trip).
+  [[nodiscard]] std::uint64_t u64(const std::string& key,
+                                  std::uint64_t fallback) const {
     const auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : std::atof(it->second.c_str());
+    if (it == kv_.end()) return fallback;
+    const std::string& value = it->second;
+    if (value.empty() || value[0] == '-' || value[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(value[0]))) {
+      bad(key, value, "a non-negative integer");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+      bad(key, value, "a non-negative integer");
+    }
+    return parsed;
   }
+
+  [[nodiscard]] std::uint32_t u32(const std::string& key,
+                                  std::uint32_t fallback) const {
+    const std::uint64_t parsed = u64(key, fallback);
+    if (parsed > 0xffffffffull) bad(key, str(key), "a 32-bit integer");
+    return static_cast<std::uint32_t>(parsed);
+  }
+
+  /// Finite floating-point flag; negativity is rejected here because every
+  /// numeric CLI dial (probabilities, fractions, scales, margins) is
+  /// non-negative — a stray '-' is a typo, not a request.
+  [[nodiscard]] double f64(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    const std::string& value = it->second;
+    if (value.empty() || value[0] == '-' ||
+        std::isspace(static_cast<unsigned char>(value[0]))) {
+      bad(key, value, "a non-negative number");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(parsed)) {
+      bad(key, value, "a non-negative number");
+    }
+    return parsed;
+  }
+
   [[nodiscard]] bool flag(const std::string& key) const {
     return kv_.contains(key);
   }
 
  private:
+  [[noreturn]] static void bad(const std::string& key, const std::string& value,
+                               const char* expected) {
+    throw std::invalid_argument("--" + key + " must be " + expected +
+                                ", got '" + value + "'");
+  }
+
   std::map<std::string, std::string> kv_;
 };
 
 int cmd_generate(const Args& args) {
   const std::string kind = args.str("kind", "rmat");
-  const auto edges = static_cast<EdgeCount>(args.num("edges", 100'000));
-  const auto seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  const EdgeCount edges = args.u64("edges", 100'000);
+  const std::uint64_t seed = args.u64("seed", 42);
   const std::string out = args.str("out");
   if (out.empty()) usage();
 
@@ -105,6 +176,11 @@ int cmd_generate(const Args& args) {
     g = graph::gen::erdos_renyi(static_cast<NodeId>(edges / 8), edges, seed);
   } else if (kind == "ba") {
     g = graph::gen::barabasi_albert(static_cast<NodeId>(edges / 5), 5, seed);
+  } else if (kind == "ba-hubs") {
+    // Hub-heavy preferential attachment (the fig4/churn scenario shape):
+    // a BA body plus a few explicit hubs touching a large node fraction.
+    g = graph::gen::barabasi_albert(static_cast<NodeId>(edges / 5), 5, seed);
+    graph::gen::add_hubs(g, 3, static_cast<NodeId>(edges / 20), seed + 1);
   } else if (kind == "community") {
     g = graph::gen::community(static_cast<NodeId>(edges / 25), 64, 0.6,
                               edges / 20, seed);
@@ -115,7 +191,7 @@ int cmd_generate(const Args& args) {
     bool found = false;
     for (const auto pg : graph::kAllPaperGraphs) {
       if (name == graph::paper_graph_info(pg).name) {
-        g = graph::make_paper_graph(pg, args.num("scale", 0.5), seed);
+        g = graph::make_paper_graph(pg, args.f64("scale", 0.5), seed);
         found = true;
         break;
       }
@@ -186,26 +262,22 @@ engine::EngineConfig config_from_args(const Args& args) {
   cfg.placement = color::placement_from_string(
       args.str("placement", color::to_string(cfg.placement)));
   cfg.rebalance_enabled = args.flag("rebalance");
-  cfg.uniform_p = args.num("p", 1.0);
-  cfg.sample_capacity_edges =
-      static_cast<std::uint64_t>(args.num("capacity", 0));
+  cfg.uniform_p = args.f64("p", 1.0);
+  cfg.sample_capacity_edges = args.u64("capacity", 0);
   // --degree-remap needs the Misra-Gries summaries, so it implies them.
   cfg.degree_ordered_remap = args.flag("degree-remap");
   cfg.misra_gries_enabled =
       args.flag("misra-gries") || cfg.degree_ordered_remap;
-  cfg.mg_top = static_cast<std::uint32_t>(args.num("mg-top", 32));
+  cfg.mg_top = args.u32("mg-top", 32);
   cfg.intersect = tc::intersect_policy_from_string(args.str("intersect", "auto"));
-  cfg.gallop_margin =
-      static_cast<std::uint32_t>(args.num("gallop-margin", cfg.gallop_margin));
+  cfg.gallop_margin = args.u32("gallop-margin", cfg.gallop_margin);
   cfg.region_cache = !args.flag("no-region-cache");
   cfg.incremental = args.flag("incremental");
-  cfg.host_threads = static_cast<std::uint32_t>(args.num("threads", 0));
-  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 42));
-  cfg.staging_capacity_edges =
-      static_cast<std::uint64_t>(args.num("staging", 0));
+  cfg.host_threads = args.u32("threads", 0);
+  cfg.seed = args.u64("seed", 42);
+  cfg.staging_capacity_edges = args.u64("staging", 0);
   cfg.pipelined_ingest = !args.flag("no-pipeline");
-  cfg.pim.dpus_per_rank = static_cast<std::uint32_t>(
-      args.num("dpus-per-rank", cfg.pim.dpus_per_rank));
+  cfg.pim.dpus_per_rank = args.u32("dpus-per-rank", cfg.pim.dpus_per_rank);
   return cfg;
 }
 
@@ -249,6 +321,17 @@ void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
       static_cast<unsigned long long>(r.work.conversion_ops),
       static_cast<unsigned long long>(r.work.intersection_steps));
   std::printf(",\"host_threads\":%u", r.host_threads);
+  if (r.edges_deleted > 0 || r.delete_misses > 0) {
+    // Fully-dynamic stream diagnostics: deletions applied, resident-sample
+    // evictions, detected no-op deletes, deletion-forced full passes.
+    std::printf(
+        ",\"dynamic\":{\"edges_deleted\":%llu,\"sample_evictions\":%llu,"
+        "\"delete_misses\":%llu,\"dirty_full_recounts\":%u}",
+        static_cast<unsigned long long>(r.edges_deleted),
+        static_cast<unsigned long long>(r.sample_evictions),
+        static_cast<unsigned long long>(r.delete_misses),
+        r.dirty_full_recounts);
+  }
   if (r.kernel.instructions > 0) {
     // Adaptive-intersection kernel diagnostics of the last recount.
     std::printf(
@@ -363,6 +446,14 @@ void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
                 static_cast<unsigned long long>(r.edges_kept),
                 static_cast<unsigned long long>(r.edges_streamed));
   }
+  if (r.edges_deleted > 0 || r.delete_misses > 0) {
+    std::printf("dynamic:    %llu deletions | %llu sample evictions | "
+                "%llu misses | %u deletion-forced full passes\n",
+                static_cast<unsigned long long>(r.edges_deleted),
+                static_cast<unsigned long long>(r.sample_evictions),
+                static_cast<unsigned long long>(r.delete_misses),
+                r.dirty_full_recounts);
+  }
   std::printf("%s time:   setup %.2f ms | ingest %.2f ms | count %.2f ms "
               "(+%.2f ms local host)\n",
               r.simulated_times ? "sim" : "cpu", r.times.setup_s * 1e3,
@@ -393,24 +484,74 @@ void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
 
 int cmd_count(const Args& args) {
   const std::string path = args.str("graph");
-  if (path.empty()) usage();
-  graph::EdgeList g = graph::read_coo(path);
-  graph::preprocess(g, static_cast<std::uint64_t>(args.num("seed", 42)));
+  const std::string stream_path = args.str("stream");
+  if (path.empty() && stream_path.empty()) usage();
+  const std::uint64_t seed = args.u64("seed", 42);
+  const double delete_frac = args.f64("delete-frac", 0.0);
+  if (delete_frac > 1.0) {
+    throw std::invalid_argument("--delete-frac must be in [0, 1]");
+  }
+  if (delete_frac > 0.0 && path.empty()) {
+    throw std::invalid_argument(
+        "--delete-frac deletes a random fraction of the graph's edges and "
+        "needs --graph");
+  }
+
+  graph::EdgeList g;
+  if (!path.empty()) {
+    g = graph::read_coo(path);
+    graph::preprocess(g, seed);
+  }
+
+  // The session's update phases: the graph (all inserts), then the replayed
+  // ± stream, then the synthetic churn — a seeded random delete_frac
+  // sample of the graph's edges (partial Fisher-Yates, deterministic).
+  std::vector<EdgeUpdate> stream;
+  if (!stream_path.empty()) stream = graph::read_update_stream(stream_path);
+  std::vector<EdgeUpdate> churn;
+  if (delete_frac > 0.0 && !g.empty()) {
+    const std::uint64_t m = g.num_edges();
+    const auto n_del = static_cast<std::uint64_t>(delete_frac *
+                                                  static_cast<double>(m));
+    std::vector<std::uint64_t> order(m);
+    for (std::uint64_t i = 0; i < m; ++i) order[i] = i;
+    Xoshiro256ss rng(derive_seed(seed, 0xde1e7e));
+    churn.reserve(n_del);
+    for (std::uint64_t i = 0; i < n_del; ++i) {
+      std::swap(order[i], order[i + rng.next_below(m - i)]);
+      churn.push_back(delete_of(g[order[i]]));
+    }
+  }
+  const bool mixed =
+      !churn.empty() ||
+      std::any_of(stream.begin(), stream.end(),
+                  [](const EdgeUpdate& u) { return !u.is_insert; });
 
   const std::string backend = args.str("backend", "pim");
   const engine::EngineConfig cfg = config_from_args(args);
 
-  auto eng = engine::make_engine(backend, cfg);
-  const engine::CountReport r = eng->count(g);
+  // One session replay, shared with the parity run so both backends see
+  // the identical phase sequence.
+  const auto run_session = [&](const std::string& name) {
+    auto eng = engine::make_engine(name, cfg);
+    if (!path.empty()) eng->add_edges(g.edges());
+    if (!stream.empty()) eng->apply(stream);
+    if (!churn.empty()) eng->apply(churn);
+    return eng->recount();
+  };
+  const engine::CountReport r = run_session(backend);
 
   ParityCheck parity;
   if (args.flag("exact-check")) {
-    // Parity run: a second backend over the same preprocessed graph through
-    // the same engine code path.
+    // Parity run: a second backend over the same update sequence through
+    // the same engine code path.  Mixed ± streams default to the exact
+    // fully-dynamic oracle.
     parity.ran = true;
-    parity.backend =
-        args.str("check-backend", backend == "cpu" ? "pim" : "cpu");
-    parity.report = engine::make_engine(parity.backend, cfg)->count(g);
+    const std::string fallback =
+        mixed ? (backend == "cpu-incremental" ? "pim" : "cpu-incremental")
+              : (backend == "cpu" ? "pim" : "cpu");
+    parity.backend = args.str("check-backend", fallback);
+    parity.report = run_session(parity.backend);
     parity.relative_err = relative_error(r.estimate, parity.report.estimate);
   }
 
