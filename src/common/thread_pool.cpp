@@ -1,9 +1,43 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 namespace pimtc {
+
+namespace {
+
+/// The pool whose worker_loop the calling thread is executing, if any.
+/// Drives the caller-runs fallback of the blocking primitives: a worker
+/// that re-enters its own pool must not wait on a slot it occupies.
+thread_local const ThreadPool* current_pool = nullptr;
+
+/// Per-invocation completion state of one parallel_for/parallel_chunks
+/// call.  Owned jointly by the caller and its tasks: with the pool shared
+/// between concurrent callers (the serving layer's sessions), a global
+/// in-flight counter would make callers wait on each other's tasks and
+/// leak exceptions across calls.
+struct Completion {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::size_t remaining;
+  std::exception_ptr first_error;
+
+  explicit Completion(std::size_t n) : remaining(n) {}
+
+  void finish_one(std::exception_ptr error) {
+    std::lock_guard lock(mutex);
+    if (error && !first_error) first_error = std::move(error);
+    if (--remaining == 0) cv.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [this] { return remaining == 0; });
+    if (first_error) std::rethrow_exception(first_error);
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -25,8 +59,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  current_pool = this;
   for (;;) {
-    Task task;
+    std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
       cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
@@ -34,61 +69,53 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    try {
-      task.fn();
-    } catch (...) {
-      std::lock_guard lock(mutex_);
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    {
-      std::lock_guard lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0 && queue_.empty()) cv_done_.notify_all();
-    }
+    task();
   }
 }
 
-void ThreadPool::submit(std::function<void()> fn) {
+void ThreadPool::enqueue(std::function<void()> fn) {
   {
     std::lock_guard lock(mutex_);
-    queue_.push_back(Task{std::move(fn)});
-    ++in_flight_;
+    queue_.push_back(std::move(fn));
   }
   cv_task_.notify_one();
 }
 
-void ThreadPool::wait_idle() {
-  std::unique_lock lock(mutex_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0 && queue_.empty(); });
-  if (first_error_) {
-    auto err = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(err);
-  }
+bool ThreadPool::on_pool_thread() const noexcept {
+  return current_pool == this;
 }
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1 || workers_.size() == 1) {
+  // Inline when parallelism cannot help (one iteration, one worker) or must
+  // not be used (nested call from a worker of this very pool: blocking on
+  // the queue would deadlock once every worker waits like this).
+  if (n == 1 || workers_.size() == 1 || on_pool_thread()) {
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   // Block distribution with one task per worker keeps queue traffic O(T).
   const std::size_t num_tasks = std::min(n, workers_.size());
+  auto done = std::make_shared<Completion>(num_tasks);
   const std::size_t base = n / num_tasks;
   const std::size_t rem = n % num_tasks;
   std::size_t begin = 0;
   for (std::size_t t = 0; t < num_tasks; ++t) {
     const std::size_t len = base + (t < rem ? 1 : 0);
     const std::size_t end = begin + len;
-    submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+    enqueue([&fn, done, begin, end] {
+      std::exception_ptr error;
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      done->finish_one(std::move(error));
     });
     begin = end;
   }
-  wait_idle();
+  done->wait();
 }
 
 void ThreadPool::parallel_chunks(
@@ -96,20 +123,29 @@ void ThreadPool::parallel_chunks(
     const std::function<void(std::size_t, std::size_t, std::size_t)>& fn) {
   if (n == 0) return;
   const std::size_t num_tasks = std::min(n, workers_.size());
-  if (num_tasks <= 1) {
+  if (num_tasks <= 1 || on_pool_thread()) {
     fn(0, 0, n);
     return;
   }
+  auto done = std::make_shared<Completion>(num_tasks);
   const std::size_t base = n / num_tasks;
   const std::size_t rem = n % num_tasks;
   std::size_t begin = 0;
   for (std::size_t t = 0; t < num_tasks; ++t) {
     const std::size_t len = base + (t < rem ? 1 : 0);
     const std::size_t end = begin + len;
-    submit([&fn, t, begin, end] { fn(t, begin, end); });
+    enqueue([&fn, done, t, begin, end] {
+      std::exception_ptr error;
+      try {
+        fn(t, begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      done->finish_one(std::move(error));
+    });
     begin = end;
   }
-  wait_idle();
+  done->wait();
 }
 
 ThreadPool& ThreadPool::global() {

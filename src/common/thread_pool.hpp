@@ -1,24 +1,36 @@
-// A small fixed-size thread pool with a blocking parallel_for.
+// A small fixed-size thread pool: async task submission plus a blocking
+// parallel_for.
 //
 // The host side of the paper's system uses 32 CPU threads to stream the edge
 // file, build per-DPU batches and run Misra-Gries summaries; the simulator
 // additionally uses host threads to execute DPU kernels functionally.  The
-// pool is created once and reused: thread creation cost would otherwise
-// pollute the "Setup time" phase measurements.
+// serving layer (src/serve/) reuses the same pool as a task scheduler for
+// long-running per-session drain work.  The pool is created once and reused:
+// thread creation cost would otherwise pollute the "Setup time" phase
+// measurements.
 //
 // Design notes (C++ Core Guidelines CP.*):
 //  * no detached threads; the destructor joins everything (RAII),
-//  * tasks are plain std::function<void()> — the pool is not a scheduler,
-//  * parallel_for blocks the caller and rethrows the first task exception.
+//  * submit() returns a std::future carrying the result or the exception,
+//  * parallel_for blocks the caller and rethrows the first task exception;
+//    completion is tracked per call, so concurrent callers sharing one pool
+//    neither wait on each other's tasks nor observe each other's exceptions,
+//  * nested use is safe: a parallel_for/parallel_chunks issued from inside
+//    one of this pool's workers runs inline in the caller (caller-runs
+//    fallback) instead of blocking on the pool it occupies — the worker
+//    cannot deadlock waiting for a slot it is itself holding.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <exception>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace pimtc {
@@ -31,46 +43,63 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Joins every worker.  Tasks already queued still run to completion —
+  /// a submitted task is never silently dropped.
   ~ThreadPool();
 
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Schedules `fn` to run on some worker and returns a future for its
+  /// result.  Exceptions thrown by `fn` surface through the future.  This
+  /// is the scheduler API the serving layer drains session queues with;
+  /// unlike parallel_for it never blocks the caller.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
 
   /// Runs fn(i) for i in [0, n) across the pool, blocking until every
   /// iteration finished.  Iterations are distributed in contiguous blocks so
   /// that per-thread state (thread-local batches, RNG streams) maps naturally
   /// to block index.  The first exception thrown by any iteration is
-  /// rethrown in the caller.
+  /// rethrown in the caller.  Called from inside one of this pool's own
+  /// workers, the loop runs inline in that worker.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Runs fn(t, begin, end) once per worker t with [begin,end) a contiguous
   /// chunk of [0, n).  This is the "one batch array per host thread" shape
   /// used by the batch builder: each thread owns a private chunk of the edge
-  /// stream.
+  /// stream.  From inside one of this pool's workers it degrades to the
+  /// single chunk fn(0, 0, n).
   void parallel_chunks(
       std::size_t n,
       const std::function<void(std::size_t, std::size_t, std::size_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.  The
+  /// blocking primitives use it for their caller-runs fallback; schedulers
+  /// can use it to refuse blocking waits that would starve the pool.
+  [[nodiscard]] bool on_pool_thread() const noexcept;
 
   /// Global pool sized to hardware concurrency; shared by the library when
   /// callers do not supply their own.
   static ThreadPool& global();
 
  private:
-  struct Task {
-    std::function<void()> fn;
-  };
-
+  /// Fire-and-forget enqueue; `fn` must not throw (submit/parallel_for wrap
+  /// user code so its exceptions are captured before they reach the worker).
+  void enqueue(std::function<void()> fn);
   void worker_loop();
-  void submit(std::function<void()> fn);
-  void wait_idle();
 
   std::vector<std::thread> workers_;
-  std::deque<Task> queue_;
+  std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::size_t in_flight_ = 0;
   bool stop_ = false;
-  std::exception_ptr first_error_;
 };
 
 }  // namespace pimtc

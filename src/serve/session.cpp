@@ -1,0 +1,243 @@
+#include "serve/session.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "serve/session_manager.hpp"
+
+namespace pimtc::serve {
+
+Session::Session(std::string name,
+                 std::unique_ptr<engine::TriangleCountEngine> engine,
+                 AdmissionPolicy policy, const ServeConfig& config,
+                 SessionManager* manager)
+    : name_(std::move(name)),
+      policy_(policy),
+      config_(config),
+      manager_(manager),
+      engine_(std::move(engine)) {}
+
+SubmitResult Session::submit(std::span<const EdgeUpdate> batch) {
+  const std::uint64_t n = batch.size();
+  if (n == 0) return SubmitResult::kAccepted;
+
+  // Fail fast on a closing session before touching the aggregate budget:
+  // a blocked reservation against dead capacity would stall the submitter
+  // for no admissible outcome.
+  {
+    std::lock_guard lock(state_mutex_);
+    if (closing_) {
+      ++stats_.batches_rejected;
+      stats_.updates_rejected += n;
+      return SubmitResult::kClosed;
+    }
+  }
+
+  // Aggregate staging budget first, per-session queue second.  The two
+  // bounds live behind independent mutexes and neither wait holds the
+  // other's lock, so blocked submitters cannot form a cycle.
+  if (!manager_->reserve_budget(n, policy_)) {
+    std::lock_guard lock(state_mutex_);
+    ++stats_.batches_rejected;
+    stats_.updates_rejected += n;
+    return SubmitResult::kBudgetExhausted;
+  }
+
+  std::unique_lock lock(state_mutex_);
+  const auto has_space = [this, n] {
+    // Soft bound: an oversized batch is admitted alone (queue empty), so
+    // every batch is eventually servable.
+    return queued_updates_ + n <= config_.queue_capacity_updates ||
+           queue_.empty();
+  };
+  if (!closing_ && !has_space()) {
+    if (policy_ == AdmissionPolicy::kReject) {
+      ++stats_.batches_rejected;
+      stats_.updates_rejected += n;
+      lock.unlock();
+      manager_->release_budget(n);
+      return SubmitResult::kQueueFull;
+    }
+    space_cv_.wait(lock, [&] { return closing_ || has_space(); });
+  }
+  if (closing_) {
+    ++stats_.batches_rejected;
+    stats_.updates_rejected += n;
+    lock.unlock();
+    manager_->release_budget(n);
+    return SubmitResult::kClosed;
+  }
+
+  const std::uint64_t seq = ++accepted_seq_;
+  queue_.push_back(Batch{seq, {batch.begin(), batch.end()}});
+  queued_updates_ += n;
+  ++stats_.batches_accepted;
+  stats_.updates_accepted += n;
+  pending_visibility_.emplace_back(seq, Clock::now());
+  schedule_drain_locked();
+  return SubmitResult::kAccepted;
+}
+
+void Session::schedule_drain_locked() {
+  if (drain_scheduled_) return;
+  drain_scheduled_ = true;
+  // The task pins the session: a close() that races ahead removes it from
+  // the manager's directory, but the drain keeps running to completion.
+  auto self = shared_from_this();
+  manager_->pool().submit([self] { self->drain(); });
+}
+
+void Session::drain() {
+  for (;;) {
+    Batch batch;
+    {
+      std::unique_lock lock(state_mutex_);
+      if (queue_.empty()) {
+        if (applied_seq_ > published_seq_) {
+          // Publish the applied-but-invisible tail before going idle so
+          // flush() terminates and a quiescent session is fully readable.
+          lock.unlock();
+          publish_snapshot();
+          lock.lock();
+          if (!queue_.empty()) continue;  // a submit raced the publish
+        }
+        drain_scheduled_ = false;
+        applied_cv_.notify_all();
+        return;
+      }
+      batch = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    // Engine work happens outside every lock: only this drain touches the
+    // engine (single-drain invariant), and queries must not wait on it.
+    const std::uint64_t n = batch.updates.size();
+    std::exception_ptr failure;
+    try {
+      engine_->apply(batch.updates);
+    } catch (...) {
+      failure = std::current_exception();
+    }
+
+    bool publish;
+    {
+      std::lock_guard lock(state_mutex_);
+      applied_seq_ = batch.seq;
+      queued_updates_ -= n;
+      if (failure) {
+        ++stats_.batches_failed;
+        try {
+          std::rethrow_exception(failure);
+        } catch (const std::exception& e) {
+          stats_.last_error = e.what();
+        } catch (...) {
+          stats_.last_error = "unknown engine failure";
+        }
+      } else {
+        ++stats_.batches_applied;
+        stats_.updates_applied += n;
+      }
+      publish = ++unpublished_batches_ >= config_.recount_every_batches;
+      space_cv_.notify_all();
+    }
+    manager_->release_budget(n);
+    if (publish) publish_snapshot();
+  }
+}
+
+void Session::publish_snapshot() {
+  std::uint64_t through;
+  std::uint64_t epoch;
+  {
+    std::lock_guard lock(state_mutex_);
+    through = applied_seq_;
+    epoch = stats_.epoch + 1;
+    unpublished_batches_ = 0;
+  }
+
+  auto snap = std::make_shared<Snapshot>();
+  snap->epoch = epoch;
+  snap->through_seq = through;
+  try {
+    snap->report = engine_->recount();
+  } catch (const std::exception& e) {
+    // The previous snapshot stays live; flush waiters are released (the
+    // batches *were* applied) and the failure is surfaced in the stats.
+    std::lock_guard lock(state_mutex_);
+    ++stats_.recounts_failed;
+    stats_.last_error = e.what();
+    published_seq_ = through;
+    while (!pending_visibility_.empty() &&
+           pending_visibility_.front().first <= through) {
+      pending_visibility_.pop_front();
+    }
+    applied_cv_.notify_all();
+    return;
+  }
+
+  {
+    std::lock_guard lock(snapshot_mutex_);
+    snapshot_ = std::move(snap);
+  }
+  const Clock::time_point now = Clock::now();
+  {
+    std::lock_guard lock(state_mutex_);
+    stats_.epoch = epoch;
+    published_seq_ = through;
+    while (!pending_visibility_.empty() &&
+           pending_visibility_.front().first <= through) {
+      if (latencies_s_.size() < config_.max_latency_samples) {
+        latencies_s_.push_back(
+            std::chrono::duration<double>(
+                now - pending_visibility_.front().second)
+                .count());
+      }
+      pending_visibility_.pop_front();
+    }
+    applied_cv_.notify_all();
+  }
+}
+
+QueryResult Session::query() const {
+  std::shared_ptr<const Snapshot> snap;
+  {
+    std::lock_guard lock(snapshot_mutex_);
+    snap = snapshot_;
+  }
+  QueryResult result;
+  if (snap) {
+    result.epoch = snap->epoch;
+    result.report = snap->report;
+    result.estimate = snap->report.estimate;
+    result.exact = snap->report.exact;
+  }
+  {
+    std::lock_guard lock(state_mutex_);
+    result.stats = stats_;
+    result.stats.queue_depth_updates = queued_updates_;
+    result.stats.queue_depth_batches = queue_.size();
+  }
+  return result;
+}
+
+void Session::flush() {
+  std::unique_lock lock(state_mutex_);
+  const std::uint64_t target = accepted_seq_;
+  applied_cv_.wait(lock, [&] { return published_seq_ >= target; });
+}
+
+void Session::close() {
+  std::unique_lock lock(state_mutex_);
+  closing_ = true;
+  space_cv_.notify_all();  // blocked submitters wake and observe kClosed
+  applied_cv_.wait(lock, [&] {
+    return queue_.empty() && !drain_scheduled_ && published_seq_ >= applied_seq_;
+  });
+}
+
+std::vector<double> Session::latencies() const {
+  std::lock_guard lock(state_mutex_);
+  return latencies_s_;
+}
+
+}  // namespace pimtc::serve

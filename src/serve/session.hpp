@@ -1,0 +1,131 @@
+// One tenant of the serving layer: an engine session with a bounded ingest
+// queue, drained asynchronously, queried through atomically-swapped
+// snapshots.
+//
+// Concurrency contract (see DESIGN.md "Serving layer"):
+//  * the engine is touched only by the drain task, and at most one drain
+//    task per session is scheduled at a time — engine code needs no
+//    internal locking;
+//  * submit() appends to the queue under the state mutex and (re)schedules
+//    the drain; with AdmissionPolicy::kBlock it waits for queue space,
+//    with kReject it fails fast;
+//  * query() copies the current snapshot pointer under a lock that is
+//    never held across engine work, so reads do not block ingestion and
+//    ingestion does not block reads;
+//  * flush() is the read-your-writes barrier: it returns once every batch
+//    accepted before the call is covered by a published snapshot;
+//  * close() stops admission, lets the queued batches drain, and returns
+//    when the session is quiescent — accepted work is never dropped.
+//
+// Sessions are created and owned by SessionManager (session_manager.hpp);
+// this header is separate so the manager stays a thin directory.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "serve/types.hpp"
+
+namespace pimtc::serve {
+
+class SessionManager;
+
+class Session : public std::enable_shared_from_this<Session> {
+ public:
+  /// Constructed by SessionManager::open() with a freshly built engine.
+  Session(std::string name,
+          std::unique_ptr<engine::TriangleCountEngine> engine,
+          AdmissionPolicy policy, const ServeConfig& config,
+          SessionManager* manager);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] AdmissionPolicy policy() const noexcept { return policy_; }
+
+  /// Enqueues one update batch.  An empty batch is an accepted no-op.
+  SubmitResult submit(std::span<const EdgeUpdate> batch);
+
+  /// Snapshot-consistent, non-blocking read (see QueryResult).
+  [[nodiscard]] QueryResult query() const;
+
+  /// Blocks until everything accepted before the call is published.
+  void flush();
+
+  /// Stops admission, drains accepted batches, waits for quiescence.
+  /// Idempotent; safe to call concurrently with blocked submitters (they
+  /// wake and report kClosed).
+  void close();
+
+  /// Copy of the recorded update->visible latencies, in seconds (one
+  /// sample per published batch, capped by ServeConfig).
+  [[nodiscard]] std::vector<double> latencies() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Batch {
+    std::uint64_t seq = 0;  ///< 1-based admission order
+    std::vector<EdgeUpdate> updates;
+  };
+
+  /// Immutable once published; readers copy the shared_ptr and go.
+  struct Snapshot {
+    std::uint64_t epoch = 0;
+    std::uint64_t through_seq = 0;  ///< last batch this recount covers
+    engine::CountReport report;
+  };
+
+  /// Schedules the drain task if none is pending.  Requires state_mutex_.
+  void schedule_drain_locked();
+
+  /// The drain loop: applies queued batches to the engine in admission
+  /// order, publishing snapshots at the configured cadence and whenever
+  /// the queue runs dry, then parks.  At most one instance runs at a time.
+  void drain();
+
+  /// recount() + atomic snapshot swap + latency/flush bookkeeping.
+  /// Called only from drain().
+  void publish_snapshot();
+
+  const std::string name_;
+  const AdmissionPolicy policy_;
+  const ServeConfig config_;
+  SessionManager* const manager_;
+
+  /// Engine access is serialized by the single-drain invariant; the state
+  /// mutex is never held during engine calls.
+  std::unique_ptr<engine::TriangleCountEngine> engine_;
+
+  mutable std::mutex state_mutex_;
+  std::condition_variable space_cv_;    ///< blocked submitters
+  std::condition_variable applied_cv_;  ///< flush() / close() waiters
+  std::deque<Batch> queue_;
+  std::uint64_t queued_updates_ = 0;
+  std::uint64_t accepted_seq_ = 0;   ///< last admitted batch
+  std::uint64_t applied_seq_ = 0;    ///< last batch applied to the engine
+  std::uint64_t published_seq_ = 0;  ///< last batch covered by a snapshot
+  std::uint32_t unpublished_batches_ = 0;
+  bool drain_scheduled_ = false;
+  bool closing_ = false;
+  SessionStats stats_;
+  /// Admission timestamps awaiting visibility, in seq order.
+  std::deque<std::pair<std::uint64_t, Clock::time_point>> pending_visibility_;
+  std::vector<double> latencies_s_;
+
+  /// Guards only the snapshot pointer swap/copy — held for nanoseconds,
+  /// never while the engine runs, so query() effectively never waits.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_;
+};
+
+}  // namespace pimtc::serve

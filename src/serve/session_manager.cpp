@@ -1,0 +1,146 @@
+#include "serve/session_manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pimtc::serve {
+
+SessionManager::SessionManager(ServeConfig config) : config_(config) {
+  config_.validate();
+  if (config_.workers != 0) {
+    own_pool_ = std::make_unique<ThreadPool>(config_.workers);
+  }
+}
+
+SessionManager::~SessionManager() { close_all(); }
+
+engine::EngineConfig SessionManager::resolve_engine_config(
+    engine::EngineConfig cfg) const noexcept {
+  if (cfg.host_threads == 0 && config_.session_host_threads != 0) {
+    cfg.host_threads = config_.session_host_threads;
+  }
+  return cfg;
+}
+
+void SessionManager::open(std::string name, std::string_view backend,
+                          engine::EngineConfig engine_config,
+                          AdmissionPolicy policy) {
+  if (name.empty()) {
+    throw std::invalid_argument("SessionManager: session name must not be "
+                                "empty");
+  }
+  // Build the engine outside the directory lock (validation + construction
+  // can be slow); insertion re-checks for a duplicate racer.
+  auto engine =
+      engine::make_engine(backend, resolve_engine_config(engine_config));
+  auto session = std::make_shared<Session>(name, std::move(engine), policy,
+                                           config_, this);
+  std::lock_guard lock(sessions_mutex_);
+  if (sessions_.contains(name)) {
+    throw std::invalid_argument("SessionManager: session '" + name +
+                                "' already open");
+  }
+  sessions_.emplace(std::move(name), std::move(session));
+}
+
+std::shared_ptr<Session> SessionManager::find(std::string_view session) const {
+  std::lock_guard lock(sessions_mutex_);
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument("SessionManager: unknown session '" +
+                                std::string(session) + "'");
+  }
+  return it->second;
+}
+
+SubmitResult SessionManager::submit(std::string_view session,
+                                    std::span<const EdgeUpdate> batch) {
+  return find(session)->submit(batch);
+}
+
+QueryResult SessionManager::query(std::string_view session) const {
+  return find(session)->query();
+}
+
+QueryResult SessionManager::flush(std::string_view session) {
+  const std::shared_ptr<Session> s = find(session);
+  s->flush();
+  return s->query();
+}
+
+SessionStats SessionManager::close(std::string_view session) {
+  std::shared_ptr<Session> s;
+  {
+    // Remove from the directory first so new submits/queries see "unknown
+    // session"; the shared_ptr keeps the drain alive until quiescence.
+    std::lock_guard lock(sessions_mutex_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) {
+      throw std::invalid_argument("SessionManager: unknown session '" +
+                                  std::string(session) + "'");
+    }
+    s = std::move(it->second);
+    sessions_.erase(it);
+  }
+  s->close();
+  return s->query().stats;
+}
+
+void SessionManager::close_all() {
+  for (;;) {
+    std::shared_ptr<Session> s;
+    {
+      std::lock_guard lock(sessions_mutex_);
+      if (sessions_.empty()) return;
+      auto it = sessions_.begin();
+      s = std::move(it->second);
+      sessions_.erase(it);
+    }
+    s->close();
+  }
+}
+
+std::vector<std::string> SessionManager::session_names() const {
+  std::lock_guard lock(sessions_mutex_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) names.push_back(name);
+  return names;
+}
+
+std::vector<double> SessionManager::latencies(std::string_view session) const {
+  return find(session)->latencies();
+}
+
+std::uint64_t SessionManager::staged_updates() const {
+  std::lock_guard lock(budget_mutex_);
+  return staged_updates_;
+}
+
+bool SessionManager::reserve_budget(std::uint64_t n, AdmissionPolicy policy) {
+  if (config_.staging_budget_updates == 0) return true;
+  std::unique_lock lock(budget_mutex_);
+  const auto fits = [this, n] {
+    // Soft bound, like the per-session queue: an oversized batch is
+    // admitted once nothing else is staged.
+    return staged_updates_ + n <= config_.staging_budget_updates ||
+           staged_updates_ == 0;
+  };
+  if (!fits()) {
+    if (policy == AdmissionPolicy::kReject) return false;
+    budget_cv_.wait(lock, fits);
+  }
+  staged_updates_ += n;
+  return true;
+}
+
+void SessionManager::release_budget(std::uint64_t n) {
+  if (config_.staging_budget_updates == 0) return;
+  {
+    std::lock_guard lock(budget_mutex_);
+    staged_updates_ -= n;
+  }
+  budget_cv_.notify_all();
+}
+
+}  // namespace pimtc::serve

@@ -1,0 +1,128 @@
+// SessionManager — the concurrent multi-tenant serving layer.
+//
+// One manager hosts N independent TriangleCountEngine sessions (one tenant
+// graph each) behind a thread-safe API:
+//
+//   serve::SessionManager mgr(serve_cfg);
+//   mgr.open("tenant-a", "pim", engine_cfg);            // any registry backend
+//   mgr.submit("tenant-a", updates);                    // bounded, backpressured
+//   serve::QueryResult r = mgr.query("tenant-a");       // snapshot-consistent
+//   mgr.flush("tenant-a");                              // read-your-writes
+//   mgr.close("tenant-a");                              // drains, then removes
+//
+// Ingestion is asynchronous: submit() stages the batch on the session's
+// bounded queue and a shared worker pool (ThreadPool::submit) drains it,
+// applying batches in admission order and publishing a fresh recount
+// snapshot every `recount_every_batches` (and whenever a queue runs dry).
+// query() serves the last published epoch without ever waiting on engine
+// work.  Admission control is two-level — per-session queue capacity plus
+// an aggregate staging budget — with a per-session reject-vs-block policy.
+//
+// Threading: every public method is safe to call from any thread, except
+// that blocking calls (flush, close, submit under kBlock) must not be made
+// from the manager's own drain workers.  See DESIGN.md "Serving layer".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "engine/registry.hpp"
+#include "serve/session.hpp"
+#include "serve/types.hpp"
+
+namespace pimtc::serve {
+
+class SessionManager {
+ public:
+  explicit SessionManager(ServeConfig config = {});
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Closes every session (draining accepted work) before tearing down.
+  ~SessionManager();
+
+  /// Opens a session named `name` on registry backend `backend`.  The
+  /// engine config is resolved first (see resolve_engine_config) and
+  /// validated by the registry.  Throws std::invalid_argument on a
+  /// duplicate name, unknown backend or invalid config.
+  void open(std::string name, std::string_view backend,
+            engine::EngineConfig engine_config = {},
+            AdmissionPolicy policy = AdmissionPolicy::kBlock);
+
+  /// Stages one update batch on `session`'s queue.  kBlock sessions wait
+  /// for space; kReject sessions fail fast (see SubmitResult).  Throws
+  /// std::invalid_argument for an unknown session.
+  SubmitResult submit(std::string_view session,
+                      std::span<const EdgeUpdate> batch);
+
+  /// Snapshot-consistent, non-blocking read of `session` (last published
+  /// recount epoch + stats).  Never waits on ingestion.
+  [[nodiscard]] QueryResult query(std::string_view session) const;
+
+  /// Read-your-writes barrier: returns a query taken after every batch
+  /// accepted before this call has been published.
+  QueryResult flush(std::string_view session);
+
+  /// Stops admission, drains the session's accepted batches, removes it
+  /// and returns its final stats.  Blocked submitters wake with kClosed.
+  SessionStats close(std::string_view session);
+
+  /// close() for every open session, in name order.
+  void close_all();
+
+  /// Names of the open sessions, sorted.
+  [[nodiscard]] std::vector<std::string> session_names() const;
+
+  /// Update->visible latency samples of one session, in seconds.
+  [[nodiscard]] std::vector<double> latencies(std::string_view session) const;
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+  /// Total updates currently staged across every session (aggregate-budget
+  /// accounting; 0 when the budget is unbounded).
+  [[nodiscard]] std::uint64_t staged_updates() const;
+
+  /// The engine config a session opened with `cfg` actually runs:
+  /// host_threads == 0 is replaced by ServeConfig::session_host_threads
+  /// (unless that is itself 0).  Exposed so drivers can replay a session
+  /// serially under the byte-identical configuration (the parity oracle).
+  [[nodiscard]] engine::EngineConfig resolve_engine_config(
+      engine::EngineConfig cfg) const noexcept;
+
+ private:
+  friend class Session;
+
+  /// The drain pool: dedicated when config.workers is pinned, the shared
+  /// process-global pool otherwise.
+  [[nodiscard]] ThreadPool& pool() noexcept {
+    return own_pool_ ? *own_pool_ : ThreadPool::global();
+  }
+
+  /// Reserves `n` updates of the aggregate staging budget.  Returns false
+  /// when exhausted under kReject; blocks until available under kBlock.
+  /// No-op (true) when the budget is unbounded.
+  bool reserve_budget(std::uint64_t n, AdmissionPolicy policy);
+  void release_budget(std::uint64_t n);
+
+  /// Looks up a session or throws std::invalid_argument naming it.
+  [[nodiscard]] std::shared_ptr<Session> find(std::string_view session) const;
+
+  const ServeConfig config_;
+  std::unique_ptr<ThreadPool> own_pool_;
+
+  mutable std::mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<Session>, std::less<>> sessions_;
+
+  mutable std::mutex budget_mutex_;
+  std::condition_variable budget_cv_;
+  std::uint64_t staged_updates_ = 0;
+};
+
+}  // namespace pimtc::serve

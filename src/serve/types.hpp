@@ -1,0 +1,138 @@
+// Value types of the multi-tenant serving layer (src/serve/).
+//
+// The serving layer hosts N independent TriangleCountEngine sessions behind
+// one thread-safe SessionManager.  These are the knobs and the observable
+// state: the manager-wide ServeConfig (drain workers, per-session queue
+// capacity, aggregate staging budget, snapshot cadence), the per-session
+// admission policy, the outcome of one submit, the per-session counters the
+// report path surfaces, and the snapshot-consistent QueryResult.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "engine/report.hpp"
+
+namespace pimtc::serve {
+
+/// What a session does when its ingest queue (or the manager's aggregate
+/// staging budget) is exhausted: fail the submit immediately, or block the
+/// submitter until the drain makes space.  Chosen per session at open().
+enum class AdmissionPolicy {
+  kReject,  ///< submit() returns kQueueFull / kBudgetExhausted
+  kBlock,   ///< submit() waits for space (or for the session to close)
+};
+
+[[nodiscard]] constexpr const char* to_string(AdmissionPolicy p) noexcept {
+  return p == AdmissionPolicy::kReject ? "reject" : "block";
+}
+
+[[nodiscard]] inline AdmissionPolicy admission_policy_from_string(
+    std::string_view s) {
+  if (s == "reject") return AdmissionPolicy::kReject;
+  if (s == "block") return AdmissionPolicy::kBlock;
+  throw std::invalid_argument("unknown admission policy '" + std::string(s) +
+                              "' (expected reject|block)");
+}
+
+/// Outcome of one submit() call.  Everything except kAccepted leaves the
+/// session unchanged; rejects are counted in SessionStats.
+enum class SubmitResult {
+  kAccepted,
+  kQueueFull,         ///< per-session queue capacity exhausted (kReject only)
+  kBudgetExhausted,   ///< aggregate staging budget exhausted (kReject only)
+  kClosed,            ///< session is closing / closed
+};
+
+[[nodiscard]] constexpr const char* to_string(SubmitResult r) noexcept {
+  switch (r) {
+    case SubmitResult::kAccepted: return "accepted";
+    case SubmitResult::kQueueFull: return "queue_full";
+    case SubmitResult::kBudgetExhausted: return "budget_exhausted";
+    case SubmitResult::kClosed: return "closed";
+  }
+  return "?";
+}
+
+/// Manager-wide configuration.  One ServeConfig governs every session the
+/// manager opens; per-session engine shape comes from the EngineConfig
+/// passed to open().
+struct ServeConfig {
+  /// Drain workers shared by every session.  0 = schedule drain tasks on
+  /// the process-global ThreadPool (work-conserving: with engines left at
+  /// host_threads == 0 the whole stack then shares one hardware-sized
+  /// pool, and nested engine parallel_for calls run caller-inline).
+  std::size_t workers = 0;
+
+  /// Per-session ingest queue capacity in *updates* (edge insertions plus
+  /// deletions).  Soft bound: a single batch larger than the capacity is
+  /// admitted when the queue is empty, so any batch is eventually
+  /// servable.  Must be >= 1.
+  std::uint64_t queue_capacity_updates = 1ull << 16;
+
+  /// Aggregate staging budget across every session's queue, in updates.
+  /// 0 = unbounded.  Like the queue bound it is soft for oversized single
+  /// batches (admitted when nothing else is staged).
+  std::uint64_t staging_budget_updates = 0;
+
+  /// Snapshot cadence: publish a new recount epoch every this many applied
+  /// batches.  The drain additionally publishes whenever its queue runs
+  /// dry, so a quiescent session is always fully visible.  Must be >= 1.
+  std::uint32_t recount_every_batches = 1;
+
+  /// Default EngineConfig::host_threads for sessions opened with the field
+  /// at 0 (= hardware concurrency).  N concurrent sessions each sized to
+  /// the whole machine would oversubscribe it N-fold, so the serving layer
+  /// defaults every engine to 1 host thread and takes its parallelism
+  /// across sessions.  Set to 0 to keep the engines' own default.
+  std::uint32_t session_host_threads = 1;
+
+  /// Cap on retained update->visible latency samples per session (the
+  /// serve-bench percentile source); further samples are dropped.
+  std::size_t max_latency_samples = 1u << 20;
+
+  /// Throws std::invalid_argument on the first violated invariant.
+  void validate() const {
+    if (queue_capacity_updates == 0) {
+      throw std::invalid_argument(
+          "ServeConfig: queue_capacity_updates must be >= 1");
+    }
+    if (recount_every_batches == 0) {
+      throw std::invalid_argument(
+          "ServeConfig: recount_every_batches must be >= 1");
+    }
+  }
+};
+
+/// Per-session counters, sampled atomically at query time.
+struct SessionStats {
+  std::uint64_t batches_accepted = 0;
+  std::uint64_t batches_rejected = 0;
+  std::uint64_t batches_applied = 0;   ///< applied to the engine
+  std::uint64_t batches_failed = 0;    ///< engine->apply() threw; batch dropped
+  std::uint64_t updates_accepted = 0;
+  std::uint64_t updates_rejected = 0;
+  std::uint64_t updates_applied = 0;
+  std::uint64_t recounts_failed = 0;   ///< engine->recount() threw
+  std::uint64_t epoch = 0;             ///< published snapshot epochs
+  std::uint64_t queue_depth_updates = 0;  ///< staged, not yet applied
+  std::uint64_t queue_depth_batches = 0;
+  std::string last_error;  ///< most recent engine failure message, if any
+};
+
+/// Snapshot-consistent read of one session.  `report` (and the `estimate` /
+/// `exact` convenience fields mirrored out of it) all come from the same
+/// published epoch: a query concurrent with ingestion sees the complete
+/// last recount, never a half-applied batch.  epoch == 0 means nothing has
+/// been published yet (report is default-constructed).
+struct QueryResult {
+  std::uint64_t epoch = 0;
+  double estimate = 0.0;
+  bool exact = false;
+  engine::CountReport report;
+  SessionStats stats;  ///< sampled at query time (not part of the snapshot)
+};
+
+}  // namespace pimtc::serve

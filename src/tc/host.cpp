@@ -40,7 +40,13 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
                                        const pim::PimSystemConfig& pim_config)
     : config_(config),
       pim_config_(pim_config),
-      pool_(std::make_unique<ThreadPool>(config.host_threads)),
+      // host_threads == 0 shares the process-global pool instead of
+      // spawning a private hardware-wide pool per counter: N concurrent
+      // engine sessions (src/serve/) would otherwise oversubscribe the
+      // machine N-fold.  A pinned thread count still gets a dedicated pool.
+      pool_(config.host_threads == 0
+                ? nullptr
+                : std::make_unique<ThreadPool>(config.host_threads)),
       plan_(resolve_colors(config, pim_config), config.placement,
             pim_config.dpus_per_rank),
       hash_(plan_.num_colors(), derive_seed(config.seed, 0xc01u)),
@@ -112,9 +118,9 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
   }
 
   // Persistent ingestion state: sized once, reused by every batch.
-  partition_.resize(pool_->size());
+  partition_.resize(pool().size());
   for (auto& per_triplet : partition_) per_triplet.resize(dpus);
-  update_partition_.resize(pool_->size());
+  update_partition_.resize(pool().size());
   for (auto& per_triplet : update_partition_) per_triplet.resize(dpus);
   mirrors_.resize(dpus);
   touched_slots_.resize(dpus);
@@ -134,7 +140,7 @@ TcResult PimTriangleCounter::count(const graph::EdgeList& graph) {
 
 void PimTriangleCounter::add_edges(std::span<const Edge> batch) {
   WallTimer host_timer;
-  const std::size_t num_threads = pool_->size();
+  const std::size_t num_threads = pool().size();
   const std::uint64_t batch_id = batch_counter_++;
 
   // Per-thread, per-triplet partition buffers — "each host CPU thread
@@ -152,7 +158,7 @@ void PimTriangleCounter::add_edges(std::span<const Edge> batch) {
   }
 
   const color::EdgePartitioner partitioner(hash_, plan_.table());
-  pool_->parallel_chunks(
+  pool().parallel_chunks(
       batch.size(), [&](std::size_t t, std::size_t lo, std::size_t hi) {
         sketch::UniformSampler sampler(
             config_.uniform_p,
@@ -237,7 +243,7 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
       cycles_before_[d] = system_->dpu(d).cycles();
     }
 
-    pool_->parallel_for(num_dpus, [&](std::size_t t) {
+    pool().parallel_for(num_dpus, [&](std::size_t t) {
       // The plan is a bijection, so each triplet touches its own bank.
       pim::Dpu& dpu = system_->dpu(plan_.dpu_of(static_cast<std::uint32_t>(t)));
       sketch::ReservoirPolicy& reservoir = reservoirs_[t];
@@ -407,7 +413,7 @@ void PimTriangleCounter::apply(std::span<const EdgeUpdate> batch) {
     for (auto& v : per_triplet) v.clear();
   }
   const color::EdgePartitioner partitioner(hash_, plan_.table());
-  pool_->parallel_chunks(
+  pool().parallel_chunks(
       batch.size(), [&](std::size_t t, std::size_t lo, std::size_t hi) {
         auto& batches = update_partition_[t];
         for (std::size_t i = lo; i < hi; ++i) {
@@ -476,7 +482,7 @@ void PimTriangleCounter::apply_updates_to_samples(double host_window_s) {
   // order against its policy and mirror, collecting the touched slots.
   // The mirror's final content is the ground truth the flush reads, so
   // intermediate values never need materializing.
-  pool_->parallel_for(num_dpus, [&](std::size_t t) {
+  pool().parallel_for(num_dpus, [&](std::size_t t) {
     sketch::ReservoirPolicy& reservoir = reservoirs_[t];
     sketch::SampleMirror<Edge>& mirror = mirrors_[t];
     std::vector<std::uint64_t>& touched = touched_slots_[t];
@@ -543,7 +549,7 @@ void PimTriangleCounter::apply_updates_to_samples(double host_window_s) {
       cycles_before_[d] = system_->dpu(d).cycles();
     }
 
-    pool_->parallel_for(num_dpus, [&](std::size_t t) {
+    pool().parallel_for(num_dpus, [&](std::size_t t) {
       pim::Dpu& dpu =
           system_->dpu(plan_.dpu_of(static_cast<std::uint32_t>(t)));
       const sketch::SampleMirror<Edge>& mirror = mirrors_[t];

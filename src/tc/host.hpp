@@ -143,7 +143,7 @@ class PimTriangleCounter {
   [[nodiscard]] std::vector<std::uint64_t> per_dpu_edges_seen() const;
   /// Host threads in the partitioning/staging pool.
   [[nodiscard]] std::uint32_t host_threads() const noexcept {
-    return static_cast<std::uint32_t>(pool_->size());
+    return static_cast<std::uint32_t>(pool().size());
   }
   /// Sample migrations performed so far (rebalance / migrate_to).
   [[nodiscard]] std::uint32_t rebalances() const noexcept {
@@ -186,6 +186,14 @@ class PimTriangleCounter {
 
   /// set_placement + sample migration; returns false when nothing changed.
   bool apply_placement(std::span<const std::uint32_t> dpu_of_triplet);
+
+  /// The partitioning/staging pool: dedicated when config.host_threads is
+  /// pinned, the shared process-global pool otherwise — so N concurrent
+  /// counters (the serving layer's sessions) do not stack N hardware-wide
+  /// pools onto one machine.
+  [[nodiscard]] ThreadPool& pool() const noexcept {
+    return pool_ ? *pool_ : ThreadPool::global();
+  }
 
   TcConfig config_;
   pim::PimSystemConfig pim_config_;

@@ -4,8 +4,10 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/hash.hpp"
@@ -202,6 +204,108 @@ TEST(ThreadPoolTest, SingleThreadPoolStillWorks) {
   std::atomic<int> count{0};
   pool.parallel_for(50, [&](std::size_t) { ++count; });
   EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsFutureValue) {
+  ThreadPool pool(2);
+  std::future<int> f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+  std::future<void> g = pool.submit([] {});
+  g.get();  // void futures propagate completion too
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  std::future<int> f =
+      pool.submit([]() -> int { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives the throw: the pool keeps serving new tasks.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, ParallelChunksFewerItemsThanWorkers) {
+  ThreadPool pool(8);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_chunks(3, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    std::lock_guard lock(m);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::size_t expect = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, expect);
+    EXPECT_GT(hi, lo);
+    expect = hi;
+  }
+  EXPECT_EQ(expect, 3u);
+}
+
+TEST(ThreadPoolTest, ParallelChunksZeroItemsIsNoop) {
+  ThreadPool pool(4);
+  pool.parallel_chunks(0, [](std::size_t, std::size_t, std::size_t) {
+    FAIL() << "must not be called";
+  });
+}
+
+TEST(ThreadPoolTest, ConcurrentCallersDoNotShareCompletionOrErrors) {
+  // Two threads drive parallel_for on the SAME pool at once: each call must
+  // wait only on its own tasks, and an exception in one caller's tasks must
+  // never surface in the other's.
+  ThreadPool pool(4);
+  std::atomic<int> clean_sum{0};
+  std::atomic<bool> clean_done{false};
+  std::thread thrower([&] {
+    for (int round = 0; round < 20; ++round) {
+      EXPECT_THROW(pool.parallel_for(32,
+                                     [](std::size_t i) {
+                                       if (i % 5 == 0) {
+                                         throw std::runtime_error("mine");
+                                       }
+                                     }),
+                   std::runtime_error);
+    }
+  });
+  std::thread counter([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.parallel_for(32, [&](std::size_t) { ++clean_sum; });
+    }
+    clean_done = true;
+  });
+  thrower.join();
+  counter.join();
+  EXPECT_TRUE(clean_done.load());
+  EXPECT_EQ(clean_sum.load(), 20 * 32);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineInsteadOfDeadlocking) {
+  // A parallel_for issued from inside a pool worker must not wait on the
+  // pool it occupies; nested calls fall back to caller-runs-inline.
+  ThreadPool pool(2);
+  std::atomic<int> inner_total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++inner_total; });
+  });
+  EXPECT_EQ(inner_total.load(), 4 * 8);
+
+  // Same through submit(): a task fanning out on its own pool completes.
+  std::future<int> f = pool.submit([&] {
+    std::atomic<int> n{0};
+    pool.parallel_chunks(10, [&](std::size_t, std::size_t lo, std::size_t hi) {
+      n += static_cast<int>(hi - lo);
+    });
+    return n.load();
+  });
+  EXPECT_EQ(f.get(), 10);
+}
+
+TEST(ThreadPoolTest, OnPoolThreadDistinguishesInsideFromOutside) {
+  ThreadPool pool(2);
+  EXPECT_FALSE(pool.on_pool_thread());
+  EXPECT_TRUE(pool.submit([&] { return pool.on_pool_thread(); }).get());
+  // A different pool's worker is "outside" this pool.
+  ThreadPool other(1);
+  EXPECT_FALSE(other.submit([&] { return pool.on_pool_thread(); }).get());
 }
 
 // ---- math_util --------------------------------------------------------------

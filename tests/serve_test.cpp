@@ -1,0 +1,413 @@
+// Tests for the multi-tenant serving layer (src/serve/): concurrent
+// submit/query parity against a serial replay oracle, snapshot epoch
+// monotonicity under concurrent queriers, admission control (per-session
+// queue + aggregate budget, reject vs block), the flush() read-your-writes
+// barrier, and clean shutdown with in-flight batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "engine/registry.hpp"
+#include "graph/generators.hpp"
+#include "graph/preprocess.hpp"
+#include "serve/session_manager.hpp"
+
+namespace pimtc::serve {
+namespace {
+
+engine::EngineConfig small_engine_config(std::uint64_t seed = 42) {
+  engine::EngineConfig cfg;
+  cfg.num_colors = 4;
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// cpu-incremental with a fixed per-batch apply() delay.  Backpressure
+/// tests need the drain to be reliably slower than a tight submit loop —
+/// real engines are sometimes fast enough to keep up, making rejections
+/// timing-dependent.
+class SlowExactEngine final : public engine::TriangleCountEngine {
+ public:
+  explicit SlowExactEngine(const engine::EngineConfig& cfg)
+      : TriangleCountEngine(cfg),
+        inner_(engine::make_engine("cpu-incremental", cfg)) {}
+
+  void add_edges(std::span<const Edge> batch) override {
+    inner_->add_edges(batch);
+  }
+  void apply(std::span<const EdgeUpdate> updates) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    inner_->apply(updates);
+  }
+  engine::CountReport recount() override { return inner_->recount(); }
+  [[nodiscard]] engine::EngineCapabilities capabilities() const override {
+    return inner_->capabilities();
+  }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "slow-exact";
+  }
+  void reset_timers() override { inner_->reset_timers(); }
+
+ private:
+  std::unique_ptr<engine::TriangleCountEngine> inner_;
+};
+
+/// Registers "slow-exact" exactly once (registration is process-global).
+const char* slow_backend() {
+  static const bool registered = [] {
+    engine::register_backend("slow-exact", [](const engine::EngineConfig& c) {
+      return std::unique_ptr<engine::TriangleCountEngine>(
+          new SlowExactEngine(c));
+    });
+    return true;
+  }();
+  (void)registered;
+  return "slow-exact";
+}
+
+/// One tenant's mixed ± workload: a community graph's edges as inserts,
+/// then seeded deletions of a quarter of them.  Deterministic per seed.
+std::vector<EdgeUpdate> test_stream(std::uint64_t seed) {
+  graph::EdgeList g = graph::gen::community(300, 12, 0.5, 1200, seed);
+  graph::preprocess(g, seed + 1);
+  std::vector<EdgeUpdate> updates;
+  updates.reserve(g.num_edges() + g.num_edges() / 4);
+  for (const Edge& e : g.edges()) updates.push_back(insert_of(e));
+  Xoshiro256ss rng(derive_seed(seed, 99));
+  const std::size_t m = g.num_edges();
+  std::vector<std::size_t> order(m);
+  for (std::size_t i = 0; i < m; ++i) order[i] = i;
+  for (std::size_t i = 0; i < m / 4; ++i) {
+    std::swap(order[i], order[i + rng.next_below(m - i)]);
+    updates.push_back(delete_of(g[order[i]]));
+  }
+  return updates;
+}
+
+std::vector<std::span<const EdgeUpdate>> batches_of(
+    std::span<const EdgeUpdate> updates, std::size_t batch) {
+  std::vector<std::span<const EdgeUpdate>> out;
+  for (std::size_t off = 0; off < updates.size(); off += batch) {
+    out.push_back(updates.subspan(off, std::min(batch, updates.size() - off)));
+  }
+  return out;
+}
+
+/// The ground truth: the same accepted updates, applied serially to a fresh
+/// engine under the manager-resolved config, recounted once.
+double serial_replay_estimate(const SessionManager& mgr,
+                              const std::string& backend,
+                              const engine::EngineConfig& cfg,
+                              std::span<const EdgeUpdate> updates) {
+  auto oracle = engine::make_engine(backend, mgr.resolve_engine_config(cfg));
+  oracle->apply(updates);
+  return oracle->recount().estimate;
+}
+
+// ---- concurrent parity ------------------------------------------------------
+
+TEST(ServeParityTest, ConcurrentSessionsMatchSerialReplay) {
+  // N sessions ingest mixed ± streams from their own submitter threads on
+  // one manager; after flush every session's served count must be
+  // bit-identical to a serial replay of its stream.
+  for (const char* backend : {"pim", "cpu-incremental"}) {
+    const engine::EngineConfig ecfg = small_engine_config();
+    SessionManager mgr;
+    constexpr int kSessions = 4;
+    std::vector<std::vector<EdgeUpdate>> streams;
+    for (int i = 0; i < kSessions; ++i) {
+      streams.push_back(test_stream(1000 + i));
+      mgr.open("t" + std::to_string(i), backend, ecfg);
+    }
+
+    std::vector<std::thread> submitters;
+    for (int i = 0; i < kSessions; ++i) {
+      submitters.emplace_back([&mgr, &streams, i] {
+        for (const auto batch : batches_of(streams[i], 97)) {
+          EXPECT_EQ(mgr.submit("t" + std::to_string(i), batch),
+                    SubmitResult::kAccepted);
+        }
+      });
+    }
+    for (auto& th : submitters) th.join();
+
+    for (int i = 0; i < kSessions; ++i) {
+      const std::string name = "t" + std::to_string(i);
+      const QueryResult served = mgr.flush(name);
+      EXPECT_TRUE(served.exact) << backend;
+      EXPECT_GT(served.epoch, 0u);
+      EXPECT_EQ(served.estimate,
+                serial_replay_estimate(mgr, backend, ecfg, streams[i]))
+          << backend << " session " << name;
+    }
+  }
+}
+
+// ---- snapshot semantics -----------------------------------------------------
+
+TEST(ServeSnapshotTest, EpochsNeverRegressUnderConcurrentQueriers) {
+  SessionManager mgr;
+  mgr.open("t", "cpu-incremental", small_engine_config());
+  const std::vector<EdgeUpdate> stream = test_stream(7);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> regressed{false};
+  std::vector<std::thread> queriers;
+  for (int q = 0; q < 2; ++q) {
+    queriers.emplace_back([&] {
+      std::uint64_t last = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const QueryResult r = mgr.query("t");
+        if (r.epoch < last) regressed.store(true);
+        last = r.epoch;
+      }
+    });
+  }
+  for (const auto batch : batches_of(stream, 64)) {
+    ASSERT_EQ(mgr.submit("t", batch), SubmitResult::kAccepted);
+  }
+  mgr.flush("t");
+  done.store(true);
+  for (auto& th : queriers) th.join();
+  EXPECT_FALSE(regressed.load());
+}
+
+TEST(ServeSnapshotTest, QueryBeforeAnyPublishIsEmptyEpochZero) {
+  SessionManager mgr;
+  mgr.open("t", "cpu", small_engine_config());
+  const QueryResult r = mgr.query("t");
+  EXPECT_EQ(r.epoch, 0u);
+  EXPECT_EQ(r.estimate, 0.0);
+  EXPECT_EQ(r.stats.batches_accepted, 0u);
+}
+
+TEST(ServeSnapshotTest, FlushIsReadYourWrites) {
+  SessionManager mgr;
+  const engine::EngineConfig ecfg = small_engine_config();
+  mgr.open("t", "cpu-incremental", ecfg);
+  const std::vector<EdgeUpdate> stream = test_stream(21);
+  for (const auto batch : batches_of(stream, 128)) {
+    ASSERT_EQ(mgr.submit("t", batch), SubmitResult::kAccepted);
+  }
+  const QueryResult r = mgr.flush("t");
+  // Everything accepted before the flush is applied AND visible.
+  EXPECT_EQ(r.stats.updates_applied, r.stats.updates_accepted);
+  EXPECT_EQ(r.stats.queue_depth_updates, 0u);
+  EXPECT_EQ(r.stats.batches_failed, 0u);
+  EXPECT_EQ(r.estimate,
+            serial_replay_estimate(mgr, "cpu-incremental", ecfg, stream));
+}
+
+// ---- admission control ------------------------------------------------------
+
+TEST(ServeAdmissionTest, RejectPolicyCountsEveryOutcome) {
+  // A 1-update queue capacity over a deliberately slow backend: the first
+  // batches are admitted via the empty-queue soft bound, later ones find
+  // the queue occupied while the drain sleeps in apply() and bounce.
+  ServeConfig scfg;
+  scfg.queue_capacity_updates = 1;
+  SessionManager mgr(scfg);
+  mgr.open("t", slow_backend(), small_engine_config(),
+           AdmissionPolicy::kReject);
+  const std::vector<EdgeUpdate> stream = test_stream(33);
+
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::vector<EdgeUpdate> accepted_updates;
+  const auto batches = batches_of(stream, 50);
+  for (const auto batch : batches) {
+    const SubmitResult r = mgr.submit("t", batch);
+    if (r == SubmitResult::kAccepted) {
+      ++accepted;
+      accepted_updates.insert(accepted_updates.end(), batch.begin(),
+                              batch.end());
+    } else {
+      EXPECT_EQ(r, SubmitResult::kQueueFull);
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1u);  // the loop outpaces per-batch recounts
+
+  const QueryResult r = mgr.flush("t");
+  EXPECT_EQ(r.stats.batches_accepted + r.stats.batches_rejected,
+            batches.size());
+  EXPECT_EQ(r.stats.batches_accepted, accepted);
+  EXPECT_EQ(r.stats.batches_rejected, rejected);
+  EXPECT_EQ(r.stats.updates_applied, r.stats.updates_accepted);
+  // The served state is exactly the accepted prefix-set, nothing else.
+  EXPECT_EQ(r.estimate,
+            serial_replay_estimate(mgr, "cpu-incremental",
+                                   small_engine_config(), accepted_updates));
+}
+
+TEST(ServeAdmissionTest, BlockPolicyAcceptsEverythingThroughTinyQueue) {
+  ServeConfig scfg;
+  scfg.queue_capacity_updates = 64;  // forces repeated blocking hand-offs
+  SessionManager mgr(scfg);
+  const engine::EngineConfig ecfg = small_engine_config();
+  mgr.open("t", "cpu-incremental", ecfg, AdmissionPolicy::kBlock);
+  const std::vector<EdgeUpdate> stream = test_stream(55);
+  for (const auto batch : batches_of(stream, 48)) {
+    EXPECT_EQ(mgr.submit("t", batch), SubmitResult::kAccepted);
+  }
+  const QueryResult r = mgr.flush("t");
+  EXPECT_EQ(r.stats.batches_rejected, 0u);
+  EXPECT_EQ(r.stats.updates_applied, stream.size());
+  EXPECT_EQ(r.estimate,
+            serial_replay_estimate(mgr, "cpu-incremental", ecfg, stream));
+}
+
+TEST(ServeAdmissionTest, AggregateBudgetBouncesRejectSessions) {
+  // Budget of 1 update across the manager, slow drains: with two tenants
+  // spamming, submits must come back kBudgetExhausted while the budget is
+  // held through apply(), and both sessions still end consistent with
+  // their accepted sets.
+  ServeConfig scfg;
+  scfg.staging_budget_updates = 1;
+  SessionManager mgr(scfg);
+  mgr.open("a", slow_backend(), small_engine_config(),
+           AdmissionPolicy::kReject);
+  mgr.open("b", slow_backend(), small_engine_config(),
+           AdmissionPolicy::kReject);
+  const std::vector<EdgeUpdate> stream = test_stream(77);
+
+  std::atomic<std::uint64_t> budget_rejects{0};
+  std::vector<std::thread> submitters;
+  for (const char* name : {"a", "b"}) {
+    submitters.emplace_back([&, name] {
+      for (const auto batch : batches_of(stream, 40)) {
+        const SubmitResult r = mgr.submit(name, batch);
+        if (r == SubmitResult::kBudgetExhausted) ++budget_rejects;
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  EXPECT_GE(budget_rejects.load(), 1u);
+  for (const char* name : {"a", "b"}) {
+    const QueryResult r = mgr.flush(name);
+    EXPECT_EQ(r.stats.updates_applied, r.stats.updates_accepted);
+  }
+  EXPECT_EQ(mgr.staged_updates(), 0u);
+}
+
+TEST(ServeAdmissionTest, BlockedBudgetSubmittersAllComplete) {
+  ServeConfig scfg;
+  scfg.staging_budget_updates = 32;
+  SessionManager mgr(scfg);
+  const engine::EngineConfig ecfg = small_engine_config();
+  mgr.open("a", "cpu-incremental", ecfg, AdmissionPolicy::kBlock);
+  mgr.open("b", "cpu-incremental", ecfg, AdmissionPolicy::kBlock);
+  const std::vector<EdgeUpdate> stream = test_stream(91);
+
+  std::vector<std::thread> submitters;
+  for (const char* name : {"a", "b"}) {
+    submitters.emplace_back([&, name] {
+      for (const auto batch : batches_of(stream, 40)) {
+        EXPECT_EQ(mgr.submit(name, batch), SubmitResult::kAccepted);
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  for (const char* name : {"a", "b"}) {
+    const QueryResult r = mgr.flush(name);
+    EXPECT_EQ(r.stats.updates_applied, stream.size());
+    EXPECT_EQ(r.estimate,
+              serial_replay_estimate(mgr, "cpu-incremental", ecfg, stream));
+  }
+}
+
+// ---- lifecycle --------------------------------------------------------------
+
+TEST(ServeLifecycleTest, CloseDrainsInFlightBatches) {
+  SessionManager mgr;
+  mgr.open("t", "cpu-incremental", small_engine_config());
+  const std::vector<EdgeUpdate> stream = test_stream(13);
+  std::uint64_t submitted = 0;
+  for (const auto batch : batches_of(stream, 64)) {
+    ASSERT_EQ(mgr.submit("t", batch), SubmitResult::kAccepted);
+    submitted += batch.size();
+  }
+  // close() without an intervening flush: accepted work is never dropped.
+  const SessionStats stats = mgr.close("t");
+  EXPECT_EQ(stats.updates_applied, submitted);
+  EXPECT_EQ(stats.queue_depth_updates, 0u);
+  EXPECT_THROW((void)mgr.query("t"), std::invalid_argument);
+}
+
+TEST(ServeLifecycleTest, ManagerDestructorDrainsOpenSessions) {
+  // Tears down with batches still queued; must neither hang nor crash nor
+  // leak the drain task (ASan/TSan would flag a worker touching a dead
+  // session).
+  SessionManager mgr;
+  mgr.open("t", "cpu-incremental", small_engine_config());
+  const std::vector<EdgeUpdate> stream = test_stream(17);
+  for (const auto batch : batches_of(stream, 32)) {
+    ASSERT_EQ(mgr.submit("t", batch), SubmitResult::kAccepted);
+  }
+}
+
+TEST(ServeLifecycleTest, SubmitAfterCloseIsUnknownSession) {
+  // close() removes the session from the directory, so later submits fail
+  // by name — kClosed is only seen by submitters racing the close itself.
+  SessionManager mgr;
+  mgr.open("t", "cpu", small_engine_config());
+  mgr.close("t");
+  const std::vector<EdgeUpdate> one{insert_of(Edge{1, 2})};
+  EXPECT_THROW((void)mgr.submit("t", one), std::invalid_argument);
+}
+
+TEST(ServeLifecycleTest, DirectoryErrors) {
+  SessionManager mgr;
+  mgr.open("t", "cpu", small_engine_config());
+  EXPECT_THROW(mgr.open("t", "cpu", small_engine_config()),
+               std::invalid_argument);                       // duplicate
+  EXPECT_THROW(mgr.open("", "cpu", small_engine_config()),
+               std::invalid_argument);                       // empty name
+  EXPECT_THROW(mgr.open("u", "no-such-backend", small_engine_config()),
+               std::invalid_argument);                       // bad backend
+  EXPECT_THROW((void)mgr.query("ghost"), std::invalid_argument);
+  EXPECT_THROW((void)mgr.close("ghost"), std::invalid_argument);
+  EXPECT_EQ(mgr.session_names(), std::vector<std::string>{"t"});
+}
+
+TEST(ServeLifecycleTest, SessionHostThreadsDefaultIsResolvedToOne) {
+  // The serving layer's oversubscription guard: engines opened with
+  // host_threads == 0 run single-threaded, parallelism comes from sessions.
+  SessionManager mgr;
+  engine::EngineConfig cfg = small_engine_config();
+  cfg.host_threads = 0;
+  EXPECT_EQ(mgr.resolve_engine_config(cfg).host_threads, 1u);
+  cfg.host_threads = 3;
+  EXPECT_EQ(mgr.resolve_engine_config(cfg).host_threads, 3u);
+
+  ServeConfig passthrough;
+  passthrough.session_host_threads = 0;
+  SessionManager mgr2(passthrough);
+  cfg.host_threads = 0;
+  EXPECT_EQ(mgr2.resolve_engine_config(cfg).host_threads, 0u);
+}
+
+TEST(ServeLifecycleTest, LatenciesAreRecordedPerPublishedBatch) {
+  SessionManager mgr;
+  mgr.open("t", "cpu-incremental", small_engine_config());
+  const std::vector<EdgeUpdate> stream = test_stream(29);
+  const auto batches = batches_of(stream, 100);
+  for (const auto batch : batches) {
+    ASSERT_EQ(mgr.submit("t", batch), SubmitResult::kAccepted);
+  }
+  mgr.flush("t");
+  const std::vector<double> lat = mgr.latencies("t");
+  EXPECT_EQ(lat.size(), batches.size());
+  for (const double s : lat) EXPECT_GE(s, 0.0);
+}
+
+}  // namespace
+}  // namespace pimtc::serve

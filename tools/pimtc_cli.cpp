@@ -6,6 +6,8 @@
 //                  [--colors=8] [--p=1.0] [--capacity=0] [--misra-gries]
 //                  [--mg-top=32] [--incremental] [--json] [--exact-check]
 //                  [--stream=updates.txt] [--delete-frac=0.2]
+//   pimtc serve    [--sessions=8] [--session-edges=20000] [--policy=block]
+//                  [--batch-updates=512] [--delete-frac=0.2] [--json] ...
 //   pimtc backends
 //
 // `count` runs the chosen backend through the engine registry and prints
@@ -16,15 +18,25 @@
 // graph; --delete-frac then deletes a seeded random fraction of the
 // graph's edges (synthetic churn).  Mixed ± sessions parity-check against
 // the exact cpu-incremental oracle by default.
+//
+// `serve` is the serving-layer bench: it opens N concurrent sessions on one
+// SessionManager, hammers each with a seeded mixed ± stream from its own
+// submitter thread while querier threads read snapshots, then checks every
+// session's final count bit-identically against a serial replay of its
+// accepted batches and reports p50/p99 update->visible latency.
+#include <atomic>
 #include <cctype>
 #include <cerrno>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <span>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <algorithm>
@@ -40,6 +52,7 @@
 #include "graph/stats.hpp"
 #include "graph/reference_tc.hpp"
 #include "common/math_util.hpp"
+#include "serve/session_manager.hpp"
 
 namespace {
 
@@ -63,6 +76,14 @@ using namespace pimtc;
       "                 [--threads=<n>] [--dpus-per-rank=<n>]\n"
       "                 [--staging=<edges/core>] [--no-pipeline]\n"
       "                 [--json] [--exact-check] [--check-backend=<name>]\n"
+      "  pimtc serve    [--sessions=<n>] [--session-edges=<m>]\n"
+      "                 [--batch-updates=<u>] [--delete-frac=<f>]\n"
+      "                 [--kind=<graph kind>] [--backend=<name>]\n"
+      "                 [--policy=block|reject] [--queue-cap=<updates>]\n"
+      "                 [--budget=<updates>] [--workers=<n>]\n"
+      "                 [--recount-every=<batches>] [--queriers=<n>]\n"
+      "                 [--session-threads=<n>] [--no-parity] [--json]\n"
+      "                 plus any engine flag accepted by count\n"
       "  pimtc backends\n"
       "graphs load by extension: .bin (pimtc binary), .mtx (MatrixMarket),\n"
       "anything else as 'u v' text\n"
@@ -160,13 +181,11 @@ class Args {
   std::map<std::string, std::string> kv_;
 };
 
-int cmd_generate(const Args& args) {
-  const std::string kind = args.str("kind", "rmat");
-  const EdgeCount edges = args.u64("edges", 100'000);
-  const std::uint64_t seed = args.u64("seed", 42);
-  const std::string out = args.str("out");
-  if (out.empty()) usage();
-
+/// Synthetic graph dispatch shared by `generate` and the `serve` driver's
+/// per-session stream construction.  `scale` only applies to paper:NAME
+/// stand-ins.  Throws on an unknown kind.
+graph::EdgeList generate_graph(const std::string& kind, EdgeCount edges,
+                               std::uint64_t seed, double scale) {
   graph::EdgeList g;
   if (kind == "rmat") {
     std::uint32_t scale = 10;
@@ -191,19 +210,49 @@ int cmd_generate(const Args& args) {
     bool found = false;
     for (const auto pg : graph::kAllPaperGraphs) {
       if (name == graph::paper_graph_info(pg).name) {
-        g = graph::make_paper_graph(pg, args.f64("scale", 0.5), seed);
+        g = graph::make_paper_graph(pg, scale, seed);
         found = true;
         break;
       }
     }
     if (!found) {
-      std::fprintf(stderr, "unknown paper graph '%s'\n", name.c_str());
-      return 2;
+      throw std::invalid_argument("unknown paper graph '" + name + "'");
     }
   } else {
-    usage();
+    throw std::invalid_argument("unknown graph kind '" + kind + "'");
   }
+  return g;
+}
 
+/// Synthetic churn: deletions of a seeded random `frac` of `g`'s edges
+/// (partial Fisher-Yates, deterministic).  Shared by `count --delete-frac`
+/// and the `serve` driver's mixed ± session streams.
+std::vector<EdgeUpdate> churn_deletes(const graph::EdgeList& g, double frac,
+                                      std::uint64_t seed) {
+  std::vector<EdgeUpdate> churn;
+  if (frac <= 0.0 || g.empty()) return churn;
+  const std::uint64_t m = g.num_edges();
+  const auto n_del = static_cast<std::uint64_t>(frac * static_cast<double>(m));
+  std::vector<std::uint64_t> order(m);
+  for (std::uint64_t i = 0; i < m; ++i) order[i] = i;
+  Xoshiro256ss rng(derive_seed(seed, 0xde1e7e));
+  churn.reserve(n_del);
+  for (std::uint64_t i = 0; i < n_del; ++i) {
+    std::swap(order[i], order[i + rng.next_below(m - i)]);
+    churn.push_back(delete_of(g[order[i]]));
+  }
+  return churn;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string kind = args.str("kind", "rmat");
+  const EdgeCount edges = args.u64("edges", 100'000);
+  const std::uint64_t seed = args.u64("seed", 42);
+  const std::string out = args.str("out");
+  if (out.empty()) usage();
+
+  const graph::EdgeList g =
+      generate_graph(kind, edges, seed, args.f64("scale", 0.5));
   if (out.ends_with(".bin")) {
     graph::write_coo_binary(g, out);
   } else {
@@ -508,20 +557,7 @@ int cmd_count(const Args& args) {
   // sample of the graph's edges (partial Fisher-Yates, deterministic).
   std::vector<EdgeUpdate> stream;
   if (!stream_path.empty()) stream = graph::read_update_stream(stream_path);
-  std::vector<EdgeUpdate> churn;
-  if (delete_frac > 0.0 && !g.empty()) {
-    const std::uint64_t m = g.num_edges();
-    const auto n_del = static_cast<std::uint64_t>(delete_frac *
-                                                  static_cast<double>(m));
-    std::vector<std::uint64_t> order(m);
-    for (std::uint64_t i = 0; i < m; ++i) order[i] = i;
-    Xoshiro256ss rng(derive_seed(seed, 0xde1e7e));
-    churn.reserve(n_del);
-    for (std::uint64_t i = 0; i < n_del; ++i) {
-      std::swap(order[i], order[i + rng.next_below(m - i)]);
-      churn.push_back(delete_of(g[order[i]]));
-    }
-  }
+  const std::vector<EdgeUpdate> churn = churn_deletes(g, delete_frac, seed);
   const bool mixed =
       !churn.empty() ||
       std::any_of(stream.begin(), stream.end(),
@@ -575,6 +611,276 @@ int cmd_count(const Args& args) {
   return 0;
 }
 
+/// p50/p99/max of a latency sample set, in milliseconds.
+struct LatencySummary {
+  std::size_t samples = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+LatencySummary summarize_latency(std::vector<double> seconds) {
+  LatencySummary out;
+  out.samples = seconds.size();
+  if (seconds.empty()) return out;
+  std::sort(seconds.begin(), seconds.end());
+  const auto quantile = [&](double p) {
+    const auto idx = static_cast<std::size_t>(
+        p * static_cast<double>(seconds.size() - 1));
+    return seconds[idx] * 1e3;
+  };
+  out.p50_ms = quantile(0.50);
+  out.p99_ms = quantile(0.99);
+  out.max_ms = seconds.back() * 1e3;
+  return out;
+}
+
+int cmd_serve(const Args& args) {
+  const std::uint32_t num_sessions = args.u32("sessions", 8);
+  if (num_sessions == 0) {
+    throw std::invalid_argument("--sessions must be >= 1");
+  }
+  const EdgeCount session_edges = args.u64("session-edges", 20'000);
+  const std::uint64_t batch_updates = args.u64("batch-updates", 512);
+  if (batch_updates == 0) {
+    throw std::invalid_argument("--batch-updates must be >= 1");
+  }
+  const double delete_frac = args.f64("delete-frac", 0.2);
+  if (delete_frac > 1.0) {
+    throw std::invalid_argument("--delete-frac must be in [0, 1]");
+  }
+  const std::string kind = args.str("kind", "community");
+  const std::string backend = args.str("backend", "pim");
+  const std::uint64_t seed = args.u64("seed", 42);
+  const std::uint32_t num_queriers = args.u32("queriers", 2);
+  const bool check_parity = !args.flag("no-parity");
+  const serve::AdmissionPolicy policy =
+      serve::admission_policy_from_string(args.str("policy", "block"));
+
+  serve::ServeConfig scfg;
+  scfg.workers = args.u64("workers", 0);
+  scfg.queue_capacity_updates =
+      args.u64("queue-cap", scfg.queue_capacity_updates);
+  scfg.staging_budget_updates = args.u64("budget", 0);
+  scfg.recount_every_batches = args.u32("recount-every", 1);
+  scfg.session_host_threads =
+      args.u32("session-threads", scfg.session_host_threads);
+  const engine::EngineConfig ecfg = config_from_args(args);
+
+  // Each tenant's workload is built up front and deterministically from its
+  // own derived seed: its graph's edges as inserts, then the churn deletes.
+  struct Tenant {
+    std::string name;
+    std::vector<EdgeUpdate> updates;
+    std::vector<std::uint8_t> batch_accepted;  ///< filled by the submitter
+    serve::QueryResult final_result;
+    std::vector<double> latency_s;
+    double oracle_estimate = 0.0;
+    bool parity_match = true;
+  };
+  std::vector<Tenant> tenants(num_sessions);
+  for (std::uint32_t i = 0; i < num_sessions; ++i) {
+    Tenant& t = tenants[i];
+    t.name = "s" + std::to_string(i);
+    const std::uint64_t tseed = derive_seed(seed, 0x5e55'0000ull + i);
+    graph::EdgeList g =
+        generate_graph(kind, session_edges, tseed, args.f64("scale", 0.5));
+    graph::preprocess(g, tseed);
+    const std::vector<EdgeUpdate> churn = churn_deletes(g, delete_frac, tseed);
+    t.updates.reserve(g.num_edges() + churn.size());
+    for (const Edge& e : g.edges()) t.updates.push_back(insert_of(e));
+    t.updates.insert(t.updates.end(), churn.begin(), churn.end());
+  }
+
+  serve::SessionManager mgr(scfg);
+  for (const Tenant& t : tenants) mgr.open(t.name, backend, ecfg, policy);
+
+  // Queriers hammer snapshot reads for the whole ingest window and verify
+  // that each session's published epoch never goes backwards.
+  std::atomic<bool> done{false};
+  std::atomic<bool> epoch_regressed{false};
+  std::atomic<std::uint64_t> queries_served{0};
+  std::vector<std::thread> queriers;
+  queriers.reserve(num_queriers);
+  for (std::uint32_t q = 0; q < num_queriers; ++q) {
+    queriers.emplace_back([&, q] {
+      std::vector<std::uint64_t> last_epoch(tenants.size(), 0);
+      std::uint64_t local = 0;
+      for (std::uint64_t spin = q; !done.load(std::memory_order_relaxed);
+           ++spin) {
+        const std::size_t i = spin % tenants.size();
+        const serve::QueryResult r = mgr.query(tenants[i].name);
+        if (r.epoch < last_epoch[i]) {
+          epoch_regressed.store(true, std::memory_order_relaxed);
+        }
+        last_epoch[i] = r.epoch;
+        ++local;
+      }
+      queries_served.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> submitters;
+  submitters.reserve(tenants.size());
+  for (Tenant& t : tenants) {
+    submitters.emplace_back([&mgr, &t, batch_updates] {
+      const std::span<const EdgeUpdate> all(t.updates);
+      for (std::size_t off = 0; off < all.size(); off += batch_updates) {
+        const std::size_t len = std::min<std::size_t>(batch_updates,
+                                                      all.size() - off);
+        const serve::SubmitResult res =
+            mgr.submit(t.name, all.subspan(off, len));
+        t.batch_accepted.push_back(res == serve::SubmitResult::kAccepted);
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+  // Read-your-writes barrier: the final query covers every accepted batch.
+  for (Tenant& t : tenants) t.final_result = mgr.flush(t.name);
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  done.store(true);
+  for (std::thread& th : queriers) th.join();
+
+  for (Tenant& t : tenants) {
+    t.latency_s = mgr.latencies(t.name);
+    mgr.close(t.name);
+  }
+
+  // Parity oracle: a fresh engine under the byte-identical resolved config
+  // replays exactly the accepted batches, serially.  Both counts must agree
+  // bit-for-bit (recounts are cadence-invariant).
+  bool parity_ok = true;
+  if (check_parity) {
+    const engine::EngineConfig resolved = mgr.resolve_engine_config(ecfg);
+    for (Tenant& t : tenants) {
+      auto oracle = engine::make_engine(backend, resolved);
+      const std::span<const EdgeUpdate> all(t.updates);
+      std::size_t batch_idx = 0;
+      for (std::size_t off = 0; off < all.size();
+           off += batch_updates, ++batch_idx) {
+        const std::size_t len = std::min<std::size_t>(batch_updates,
+                                                      all.size() - off);
+        if (t.batch_accepted[batch_idx]) oracle->apply(all.subspan(off, len));
+      }
+      t.oracle_estimate = oracle->recount().estimate;
+      t.parity_match = t.oracle_estimate == t.final_result.estimate;
+      parity_ok = parity_ok && t.parity_match;
+    }
+  }
+
+  std::uint64_t total_updates = 0;
+  std::uint64_t total_accepted = 0;
+  std::uint64_t total_rejected = 0;
+  std::vector<double> all_latencies;
+  for (const Tenant& t : tenants) {
+    total_updates += t.updates.size();
+    total_accepted += t.final_result.stats.updates_accepted;
+    total_rejected += t.final_result.stats.updates_rejected;
+    all_latencies.insert(all_latencies.end(), t.latency_s.begin(),
+                         t.latency_s.end());
+  }
+  const LatencySummary agg = summarize_latency(std::move(all_latencies));
+  const bool monotonic = !epoch_regressed.load();
+
+  if (args.flag("json")) {
+    std::printf(
+        "{\"sessions\":%u,\"backend\":\"%s\",\"policy\":\"%s\","
+        "\"kind\":\"%s\",\"batch_updates\":%llu,\"delete_frac\":%.4g,"
+        "\"queriers\":%u,\"wall_s\":%.6g,"
+        "\"updates_submitted\":%llu,\"updates_accepted\":%llu,"
+        "\"updates_rejected\":%llu,\"queries_served\":%llu,"
+        "\"accepted_updates_per_s\":%.6g,"
+        "\"epochs_monotonic\":%s,\"parity_checked\":%s,\"parity_ok\":%s,"
+        "\"latency_ms\":{\"samples\":%zu,\"p50\":%.6g,\"p99\":%.6g,"
+        "\"max\":%.6g},\"per_session\":[",
+        num_sessions, backend.c_str(), serve::to_string(policy), kind.c_str(),
+        static_cast<unsigned long long>(batch_updates), delete_frac,
+        num_queriers, wall_s,
+        static_cast<unsigned long long>(total_updates),
+        static_cast<unsigned long long>(total_accepted),
+        static_cast<unsigned long long>(total_rejected),
+        static_cast<unsigned long long>(queries_served.load()),
+        wall_s > 0.0 ? static_cast<double>(total_accepted) / wall_s : 0.0,
+        monotonic ? "true" : "false", check_parity ? "true" : "false",
+        parity_ok ? "true" : "false", agg.samples, agg.p50_ms, agg.p99_ms,
+        agg.max_ms);
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      const Tenant& t = tenants[i];
+      const LatencySummary lat = summarize_latency(t.latency_s);
+      std::printf(
+          "%s{\"name\":\"%s\",\"updates\":%zu,"
+          "\"batches_accepted\":%llu,\"batches_rejected\":%llu,"
+          "\"epoch\":%llu,\"estimate\":%.17g,\"rounded\":%llu,\"exact\":%s,"
+          "\"latency_ms\":{\"samples\":%zu,\"p50\":%.6g,\"p99\":%.6g,"
+          "\"max\":%.6g}",
+          i ? "," : "", t.name.c_str(), t.updates.size(),
+          static_cast<unsigned long long>(
+              t.final_result.stats.batches_accepted),
+          static_cast<unsigned long long>(
+              t.final_result.stats.batches_rejected),
+          static_cast<unsigned long long>(t.final_result.epoch),
+          t.final_result.estimate,
+          static_cast<unsigned long long>(t.final_result.report.rounded()),
+          t.final_result.exact ? "true" : "false", lat.samples, lat.p50_ms,
+          lat.p99_ms, lat.max_ms);
+      if (check_parity) {
+        std::printf(",\"parity\":{\"oracle_estimate\":%.17g,\"match\":%s}",
+                    t.oracle_estimate, t.parity_match ? "true" : "false");
+      }
+      std::printf("}");
+    }
+    std::printf("]}\n");
+  } else {
+    std::printf("serve: %u sessions | backend %s | policy %s | %llu-update "
+                "batches | %u queriers\n",
+                num_sessions, backend.c_str(), serve::to_string(policy),
+                static_cast<unsigned long long>(batch_updates), num_queriers);
+    for (const Tenant& t : tenants) {
+      const LatencySummary lat = summarize_latency(t.latency_s);
+      std::printf("  %-4s %zu updates | epoch %llu | count %llu%s | "
+                  "p50 %.2f ms p99 %.2f ms",
+                  t.name.c_str(), t.updates.size(),
+                  static_cast<unsigned long long>(t.final_result.epoch),
+                  static_cast<unsigned long long>(
+                      t.final_result.report.rounded()),
+                  t.final_result.exact ? "" : " (approx)", lat.p50_ms,
+                  lat.p99_ms);
+      if (check_parity) {
+        std::printf(" | parity %s", t.parity_match ? "ok" : "MISMATCH");
+      }
+      std::printf("\n");
+    }
+    std::printf("total: %llu updates accepted (%llu rejected) in %.3f s "
+                "(%.0f updates/s) | %llu queries | epochs %s\n",
+                static_cast<unsigned long long>(total_accepted),
+                static_cast<unsigned long long>(total_rejected), wall_s,
+                wall_s > 0.0 ? static_cast<double>(total_accepted) / wall_s
+                             : 0.0,
+                static_cast<unsigned long long>(queries_served.load()),
+                monotonic ? "monotonic" : "REGRESSED");
+    std::printf("latency: p50 %.2f ms | p99 %.2f ms | max %.2f ms "
+                "(%zu samples)\n",
+                agg.p50_ms, agg.p99_ms, agg.max_ms, agg.samples);
+  }
+
+  if (!parity_ok) {
+    std::fprintf(stderr,
+                 "MISMATCH: a session's served count differs from its serial "
+                 "replay — a bug\n");
+    return 1;
+  }
+  if (!monotonic) {
+    std::fprintf(stderr, "MISMATCH: a session's epoch went backwards — a "
+                         "bug\n");
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -585,6 +891,7 @@ int main(int argc, char** argv) {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "count") return cmd_count(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "backends") return cmd_backends();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pimtc: %s\n", e.what());
