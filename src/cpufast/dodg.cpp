@@ -1,0 +1,174 @@
+#include "cpufast/dodg.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+
+namespace pimtc::cpufast {
+
+namespace {
+
+/// One past the largest node id referenced by any edge.
+NodeId scan_num_nodes(std::span<const Edge> edges, ThreadPool& pool) {
+  const std::size_t workers = std::max<std::size_t>(pool.size(), 1);
+  std::vector<NodeId> bounds(workers, 0);
+  pool.parallel_chunks(edges.size(), [&](std::size_t t, std::size_t lo,
+                                         std::size_t hi) {
+    NodeId bound = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      bound = std::max({bound, edges[i].u + 1, edges[i].v + 1});
+    }
+    bounds[t] = std::max(bounds[t], bound);
+  });
+  NodeId n = 0;
+  for (const NodeId b : bounds) n = std::max(n, b);
+  return n;
+}
+
+}  // namespace
+
+Dodg Dodg::build(std::span<const Edge> edges, ThreadPool& pool,
+                 BuildTimes* times) {
+  Dodg g;
+  BuildTimes bt;
+  const NodeId n = scan_num_nodes(edges, pool);
+  g.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  g.rank_.assign(n, 0);
+  if (n == 0) {
+    if (times) *times = bt;
+    return g;
+  }
+  const std::size_t workers = std::max<std::size_t>(pool.size(), 1);
+
+  // ---- phase 1: degree histogram over the raw COO ---------------------------
+  // Per-thread histograms merged by node range: deterministic and atomic-free.
+  // Duplicate edges inflate these degrees, but the degrees only choose the
+  // orientation order — any total order yields the same triangle count.
+  WallTimer degree_timer;
+  std::vector<std::vector<std::uint32_t>> hist(
+      workers, std::vector<std::uint32_t>(n, 0));
+  pool.parallel_chunks(edges.size(), [&](std::size_t t, std::size_t lo,
+                                         std::size_t hi) {
+    std::vector<std::uint32_t>& h = hist[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Edge e = edges[i];
+      if (e.is_loop()) continue;
+      ++h[e.u];
+      ++h[e.v];
+    }
+  });
+  std::vector<std::uint32_t> degree(n, 0);
+  pool.parallel_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t t = 0; t < workers; ++t) {
+      const std::vector<std::uint32_t>& h = hist[t];
+      for (std::size_t u = lo; u < hi; ++u) degree[u] += h[u];
+    }
+  });
+  bt.degree_s = degree_timer.elapsed_s();
+
+  // ---- phase 2: rank permutation (counting sort by degree) ------------------
+  // rank ascending == (degree, id) ascending: bucket offsets per degree
+  // value, then nodes in id order within each bucket keep the id tiebreak.
+  WallTimer rank_timer;
+  std::uint32_t max_degree = 0;
+  for (const std::uint32_t d : degree) max_degree = std::max(max_degree, d);
+  std::vector<std::uint64_t> buckets(static_cast<std::size_t>(max_degree) + 2,
+                                     0);
+  for (const std::uint32_t d : degree) ++buckets[d + 1];
+  for (std::size_t d = 1; d < buckets.size(); ++d) buckets[d] += buckets[d - 1];
+  for (NodeId u = 0; u < n; ++u) {
+    g.rank_[u] = static_cast<NodeId>(buckets[degree[u]]++);
+  }
+  bt.rank_s = rank_timer.elapsed_s();
+
+  // ---- phase 3: oriented parallel fill --------------------------------------
+  // Per-thread out-degree histograms in rank space (reusing the phase-1
+  // buffers), an exclusive prefix over (node, thread) giving each thread its
+  // private write cursor per node, then a scatter with no atomics.  Both
+  // parallel_chunks calls see the same (t, lo, hi) decomposition, so each
+  // thread scatters exactly the edges it counted.
+  WallTimer fill_timer;
+  pool.parallel_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t t = 0; t < workers; ++t) {
+      std::fill(hist[t].begin() + static_cast<std::ptrdiff_t>(lo),
+                hist[t].begin() + static_cast<std::ptrdiff_t>(hi), 0);
+    }
+  });
+  pool.parallel_chunks(edges.size(), [&](std::size_t t, std::size_t lo,
+                                         std::size_t hi) {
+    std::vector<std::uint32_t>& h = hist[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Edge e = edges[i];
+      if (e.is_loop()) continue;
+      ++h[std::min(g.rank_[e.u], g.rank_[e.v])];
+    }
+  });
+  std::vector<std::uint64_t> raw_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId r = 0; r < n; ++r) {
+    std::uint64_t total = 0;
+    for (std::size_t t = 0; t < workers; ++t) total += hist[t][r];
+    raw_offsets[r + 1] = raw_offsets[r] + total;
+  }
+  if (raw_offsets.back() > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::length_error(
+        "Dodg::build: more than 2^32 oriented arcs; the 32-bit offset "
+        "layout (and this in-memory engine) cannot hold the graph");
+  }
+  pool.parallel_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      std::uint64_t cursor = raw_offsets[r];
+      for (std::size_t t = 0; t < workers; ++t) {
+        const std::uint32_t count = hist[t][r];
+        hist[t][r] = static_cast<std::uint32_t>(cursor - raw_offsets[r]);
+        cursor += count;
+      }
+    }
+  });
+  std::vector<NodeId> raw(raw_offsets.back());
+  pool.parallel_chunks(edges.size(), [&](std::size_t t, std::size_t lo,
+                                         std::size_t hi) {
+    std::vector<std::uint32_t>& cursor = hist[t];
+    for (std::size_t i = lo; i < hi; ++i) {
+      const Edge e = edges[i];
+      if (e.is_loop()) continue;
+      const NodeId ru = g.rank_[e.u];
+      const NodeId rv = g.rank_[e.v];
+      const NodeId src = std::min(ru, rv);
+      raw[raw_offsets[src] + cursor[src]++] = std::max(ru, rv);
+    }
+  });
+  bt.fill_s = fill_timer.elapsed_s();
+
+  // ---- phase 4: row sort + dedup + compaction -------------------------------
+  // DODG out-degrees are O(sqrt(m))-bounded, so contiguous row chunks stay
+  // balanced even on hub-heavy graphs.
+  WallTimer sort_timer;
+  std::vector<std::uint32_t> row_len(n, 0);
+  pool.parallel_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      const auto begin = raw.begin() + static_cast<std::ptrdiff_t>(raw_offsets[r]);
+      const auto end = raw.begin() + static_cast<std::ptrdiff_t>(raw_offsets[r + 1]);
+      std::sort(begin, end);
+      row_len[r] = static_cast<std::uint32_t>(std::unique(begin, end) - begin);
+    }
+  });
+  for (NodeId r = 0; r < n; ++r) {
+    g.offsets_[r + 1] = g.offsets_[r] + row_len[r];
+  }
+  g.targets_.resize(g.offsets_.back());
+  pool.parallel_chunks(n, [&](std::size_t, std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      std::copy_n(raw.begin() + static_cast<std::ptrdiff_t>(raw_offsets[r]),
+                  row_len[r],
+                  g.targets_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[r]));
+    }
+  });
+  bt.sort_s = sort_timer.elapsed_s();
+
+  if (times) *times = bt;
+  return g;
+}
+
+}  // namespace pimtc::cpufast

@@ -1,0 +1,95 @@
+// DODG — the degree-ordered directed graph of the fast exact CPU backend.
+//
+// The modern exact-TC recipe (GraphChallenge survey; RapidsAtHKUST tech
+// report) starts by *renumbering* vertices in ascending (degree, id) order
+// and orienting every undirected edge from its lower-rank endpoint to the
+// higher one.  Each triangle then appears exactly once, rooted at its
+// lowest-degree apex, and — unlike the baseline's comparator-based
+// orientation (src/baseline/cpu_tc.cpp), which pays two degree[] loads per
+// comparison in the innermost merge — every downstream comparison is a
+// plain integer compare on remapped ids.  Renumbering is a node-id
+// bijection, so the triangle count is unchanged (DESIGN.md "Fast exact CPU
+// backend").
+//
+// Construction is ThreadPool-parallel in every O(edges) phase:
+//   1. degree histogram  — per-thread histograms over edge chunks, merged
+//      by node range (deterministic, no atomics),
+//   2. rank permutation  — counting sort by degree (O(n + max_degree)),
+//   3. oriented fill     — prefix-summed offsets + parallel scatter through
+//      per-node atomic cursors (row order is repaired by the sort),
+//   4. row sort + dedup  — parallel per-row sort, in-place unique, then a
+//      prefix-sum compaction into the final layout.
+//
+// The result is deterministic for a given edge multiset: duplicates and
+// self loops are dropped during the build (same contract as Csr::from_coo),
+// so feeding raw accumulated COO is fine.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+
+namespace pimtc::cpufast {
+
+/// Wall-clock of the DODG build phases (the fast backend's "conversion").
+struct BuildTimes {
+  double degree_s = 0.0;  ///< degree histogram over the raw COO
+  double rank_s = 0.0;    ///< counting-sort rank permutation
+  double fill_s = 0.0;    ///< offsets + oriented parallel scatter
+  double sort_s = 0.0;    ///< per-row sort, dedup, compaction
+
+  [[nodiscard]] double total_s() const noexcept {
+    return degree_s + rank_s + fill_s + sort_s;
+  }
+};
+
+/// Degree-ordered directed graph in rank space.  Vertex r's out-neighbors
+/// all have rank > r and are sorted ascending; rank order is ascending
+/// (degree, original id), so out-degrees are O(sqrt(m))-bounded on any
+/// graph and hubs sit at the top of the id range where nobody merges
+/// through their full adjacency.
+class Dodg {
+ public:
+  Dodg() = default;
+
+  /// Builds from raw COO (duplicates and self loops dropped here; degrees
+  /// for the ordering are computed on the raw multiset, which only moves
+  /// the orientation, never the count).  `pool` runs every parallel phase;
+  /// `times`, when non-null, receives the per-phase wall-clock.
+  static Dodg build(std::span<const Edge> edges, ThreadPool& pool,
+                    BuildTimes* times = nullptr);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeCount num_arcs() const noexcept { return targets_.size(); }
+
+  /// Sorted out-neighbor span of rank-space vertex r.
+  [[nodiscard]] std::span<const NodeId> neighbors(NodeId r) const noexcept {
+    return {targets_.data() + offsets_[r], targets_.data() + offsets_[r + 1]};
+  }
+
+  /// Offsets are 32-bit on purpose: the counting loop's random offsets[v]
+  /// loads are a first-order cache cost, and 2^32 oriented arcs (17 GB of
+  /// targets) is beyond anything this in-memory engine can hold anyway —
+  /// build() throws std::length_error before overflowing.
+  [[nodiscard]] std::span<const std::uint32_t> offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] std::span<const NodeId> targets() const noexcept {
+    return targets_;
+  }
+
+  /// rank[original id] -> rank-space id (a bijection over [0, n)).
+  [[nodiscard]] std::span<const NodeId> rank() const noexcept { return rank_; }
+
+ private:
+  std::vector<std::uint32_t> offsets_;  // size n + 1
+  std::vector<NodeId> targets_;         // rank-space, sorted per row
+  std::vector<NodeId> rank_;            // original id -> rank
+};
+
+}  // namespace pimtc::cpufast

@@ -83,6 +83,17 @@ struct EngineConfig {
   /// factor undercuts the linear merge.  Must be >= 1.
   std::uint32_t gallop_margin = 3;
 
+  /// cpu-fast backend: DODG out-degree at which a source vertex switches
+  /// from adaptive merge/gallop to the packed-bitmap intersection path.
+  /// 0 disables the bitmap; otherwise must be >= 2 (sources with fewer
+  /// than two out-neighbors close no triangles).  Count-invariant — the
+  /// three strategies find the same matches.  Default 2 = bitmap-first: on
+  /// a DODG every out-list is already the small side of its intersections,
+  /// and the branchless membership probes beat the merge's serialized
+  /// cursor chain at every out-degree measured (DESIGN.md "Fast exact CPU
+  /// backend"); raise it (or set 0) to study the merge/gallop paths.
+  std::uint32_t cpu_fast_hub_degree = 2;
+
   /// WRAM RegionCache for the kernels' region lookups; false degrades every
   /// lookup to the full-table MRAM binary search (ablation baseline).
   bool region_cache = true;

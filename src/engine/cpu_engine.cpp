@@ -17,9 +17,11 @@ CpuEngine::CpuEngine(const EngineConfig& config)
 
 void CpuEngine::add_edges(std::span<const Edge> batch) {
   accumulated_.append(batch);
+  if (!batch.empty()) dirty_ = true;
 }
 
 CountReport CpuEngine::recount() {
+  if (!dirty_ && has_report_) return cached_;
   const baseline::CpuTcResult c = counter_.count(accumulated_);
   times_.ingest_s += c.measured_convert_s;
   times_.count_s += c.measured_count_s;
@@ -41,7 +43,17 @@ CountReport CpuEngine::recount() {
   report.host_threads = report.num_units;
   report.edges_streamed = accumulated_.num_edges();
   report.edges_kept = accumulated_.num_edges();
+  cached_ = report;
+  has_report_ = true;
+  dirty_ = false;
   return report;
+}
+
+void CpuEngine::reset_timers() {
+  times_ = {};
+  // Keep the memoized report consistent with the reset: a live recount
+  // right after reset_timers() would also report zeroed accumulated times.
+  if (has_report_) cached_.times = {};
 }
 
 EngineCapabilities CpuEngine::capabilities() const {

@@ -37,7 +37,7 @@ class CpuEngine final : public TriangleCountEngine {
   CountReport recount() override;
   [[nodiscard]] EngineCapabilities capabilities() const override;
   [[nodiscard]] const char* name() const noexcept override { return "cpu"; }
-  void reset_timers() override { times_ = {}; }
+  void reset_timers() override;
 
  private:
   /// Dedicated pool only when host_threads is pinned; otherwise the counter
@@ -46,6 +46,11 @@ class CpuEngine final : public TriangleCountEngine {
   baseline::CpuTriangleCounter counter_;
   graph::EdgeList accumulated_;
   PhaseTimes times_;  ///< accumulated measured seconds since last reset
+  /// recount() memoization: with no batch since the last recount the cached
+  /// report is returned without rebuilding the CSR (queue-dry republishes).
+  bool dirty_ = true;
+  bool has_report_ = false;
+  CountReport cached_;
 };
 
 class IncrementalCpuEngine final : public TriangleCountEngine {

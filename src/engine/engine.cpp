@@ -92,6 +92,11 @@ void EngineConfig::validate() const {
         "EngineConfig: gallop_margin must be >= 1 (auto-policy crossover "
         "factor)");
   }
+  if (cpu_fast_hub_degree == 1) {
+    throw std::invalid_argument(
+        "EngineConfig: cpu_fast_hub_degree must be 0 (bitmap disabled) or "
+        ">= 2 (a source needs two out-neighbors to close a triangle)");
+  }
   if (!(rebalance_min_gain >= 1.0)) {  // also rejects NaN
     throw std::invalid_argument(
         "EngineConfig: rebalance_min_gain must be >= 1");

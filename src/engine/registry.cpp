@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "cpufast/cpu_fast_engine.hpp"
 #include "engine/cpu_engine.hpp"
 #include "engine/pim_engine.hpp"
 
@@ -27,6 +28,9 @@ struct Registry {
     });
     factories.emplace("cpu-incremental", [](const EngineConfig& cfg) {
       return std::make_unique<IncrementalCpuEngine>(cfg);
+    });
+    factories.emplace("cpu-fast", [](const EngineConfig& cfg) {
+      return std::make_unique<cpufast::CpuFastEngine>(cfg);
     });
   }
 };

@@ -61,15 +61,18 @@ struct HeavyHitter {
 using TransferBreakdown = pim::TransferStats;
 
 /// Counting-kernel diagnostics of the adaptive intersection engine, summed
-/// over cores for the last recount (PIM backend; zeros elsewhere).  The
-/// merge/gallop split says how the per-intersection cost model resolved;
-/// `instructions` is the kernel-instruction total BENCH_kernel.json tracks.
+/// over cores for the last recount (PIM and cpu-fast backends; zeros
+/// elsewhere).  The merge/gallop/bitmap split says how the per-intersection
+/// strategy choice resolved; `instructions` is the kernel-instruction total
+/// BENCH_kernel.json tracks.
 struct KernelStats {
   std::string intersect;             ///< policy name ("auto"|"merge"|"gallop")
   std::uint64_t merge_isects = 0;    ///< intersections resolved by merge
   std::uint64_t gallop_isects = 0;   ///< intersections resolved by gallop
+  std::uint64_t bitmap_isects = 0;   ///< resolved by hub bitmap (cpu-fast)
   std::uint64_t merge_picks = 0;     ///< elements consumed by merge loops
   std::uint64_t gallop_probes = 0;   ///< MRAM bursts of block binary searches
+  std::uint64_t bitmap_probes = 0;   ///< bitmap membership tests (cpu-fast)
   std::uint64_t chunks_claimed = 0;  ///< strided scan chunks claimed
   std::uint64_t instructions = 0;    ///< kernel instructions this recount
   /// Counting-phase instructions alone (cache build + lookups +

@@ -18,7 +18,8 @@
 namespace pimtc::engine {
 namespace {
 
-const char* const kExactBackends[] = {"pim", "cpu", "cpu-incremental"};
+const char* const kExactBackends[] = {"pim", "cpu", "cpu-fast",
+                                      "cpu-incremental"};
 
 EngineConfig small_config(std::uint64_t seed = 42) {
   EngineConfig cfg;
@@ -40,6 +41,7 @@ TEST(RegistryTest, BuiltinsAreRegistered) {
   const std::set<std::string> set(names.begin(), names.end());
   EXPECT_TRUE(set.contains("pim"));
   EXPECT_TRUE(set.contains("cpu"));
+  EXPECT_TRUE(set.contains("cpu-fast"));
   EXPECT_TRUE(set.contains("cpu-incremental"));
 }
 

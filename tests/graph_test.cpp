@@ -73,6 +73,35 @@ TEST(CsrTest, EmptyGraph) {
   EXPECT_EQ(csr.num_arcs(), 0u);
 }
 
+TEST(CsrTest, SelfLoopsOnlyGraph) {
+  // Loops are dropped but still widen the node range; the CSR ends up all
+  // zero-degree rows, not an empty structure.
+  EdgeList coo(std::vector<Edge>{{2, 2}, {5, 5}});
+  const Csr csr = Csr::from_coo(coo);
+  EXPECT_EQ(csr.num_nodes(), 6u);
+  EXPECT_EQ(csr.num_arcs(), 0u);
+  for (NodeId u = 0; u < csr.num_nodes(); ++u) EXPECT_EQ(csr.degree(u), 0u);
+}
+
+TEST(CsrTest, DuplicateEdgesCollapseInBothOrientations) {
+  // The same undirected edge in every spelling (forward, reversed, twice)
+  // becomes exactly one forward arc and two symmetric arcs.
+  EdgeList coo(std::vector<Edge>{{4, 9}, {9, 4}, {4, 9}, {9, 4}});
+  EXPECT_EQ(Csr::from_coo(coo).num_arcs(), 1u);
+  EXPECT_EQ(Csr::from_coo_symmetric(coo).num_arcs(), 2u);
+}
+
+TEST(CsrTest, IsolatedHighIdVertexKeepsTheCountExact) {
+  // A triangle plus a far-away loop-only vertex: the wide node range must
+  // not disturb either structure sizes or the reference count.
+  EdgeList coo(std::vector<Edge>{{0, 1}, {1, 2}, {2, 0}, {1000, 1000}});
+  const Csr csr = Csr::from_coo(coo);
+  EXPECT_EQ(csr.num_nodes(), 1001u);
+  EXPECT_EQ(csr.num_arcs(), 3u);
+  EXPECT_EQ(csr.degree(1000), 0u);
+  EXPECT_EQ(reference_triangle_count(coo), 1u);
+}
+
 // ---- preprocess -------------------------------------------------------------
 
 TEST(PreprocessTest, RemovesLoopsAndDuplicates) {
@@ -83,6 +112,26 @@ TEST(PreprocessTest, RemovesLoopsAndDuplicates) {
   EXPECT_EQ(stats.removed_duplicates, 2u);  // (1,0) and the second (0,1)
   EXPECT_EQ(stats.output_edges, 2u);
   EXPECT_EQ(list.num_edges(), 2u);
+}
+
+TEST(PreprocessTest, EmptyAndLoopOnlyInputs) {
+  EdgeList empty;
+  const PreprocessStats none = remove_loops_and_duplicates(empty);
+  EXPECT_EQ(none.input_edges, 0u);
+  EXPECT_EQ(none.output_edges, 0u);
+
+  EdgeList loops(std::vector<Edge>{{7, 7}, {7, 7}, {3, 3}});
+  const PreprocessStats only = remove_loops_and_duplicates(loops);
+  EXPECT_EQ(only.removed_self_loops + only.removed_duplicates, 3u);
+  EXPECT_EQ(only.output_edges, 0u);
+  EXPECT_EQ(loops.num_edges(), 0u);
+
+  // Full preprocess (dedup + shuffle) on the degenerate inputs is a no-op
+  // rather than an error.
+  preprocess(empty, 1);
+  preprocess(loops, 1);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  EXPECT_EQ(loops.num_edges(), 0u);
 }
 
 TEST(PreprocessTest, ShuffleIsPermutationAndDeterministic) {

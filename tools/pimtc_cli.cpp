@@ -2,7 +2,7 @@
 //
 //   pimtc generate --kind=rmat --edges=100000 --out=g.txt [--seed=42]
 //   pimtc stats    --graph=g.txt
-//   pimtc count    --graph=g.txt [--backend=pim|cpu|cpu-incremental]
+//   pimtc count    --graph=g.txt [--backend=pim|cpu|cpu-fast|cpu-incremental]
 //                  [--colors=8] [--p=1.0] [--capacity=0] [--misra-gries]
 //                  [--mg-top=32] [--incremental] [--json] [--exact-check]
 //                  [--stream=updates.txt] [--delete-frac=0.2]
@@ -16,8 +16,9 @@
 // over the same stream through the same code path and verifies parity.
 // --stream replays a fully-dynamic "+u v" / "-u v" update file after the
 // graph; --delete-frac then deletes a seeded random fraction of the
-// graph's edges (synthetic churn).  Mixed ± sessions parity-check against
-// the exact cpu-incremental oracle by default.
+// graph's edges (synthetic churn).  Parity defaults to the fast exact
+// oracle (cpu-fast); when cpu-fast is itself under test, the independent
+// cpu / cpu-incremental implementations take over.
 //
 // `serve` is the serving-layer bench: it opens N concurrent sessions on one
 // SessionManager, hammers each with a seeded mixed ± stream from its own
@@ -72,7 +73,7 @@ using namespace pimtc;
       "                 [--capacity=<edges/core>]\n"
       "                 [--misra-gries] [--mg-top=<t>] [--degree-remap]\n"
       "                 [--intersect=auto|merge|gallop] [--gallop-margin=<k>]\n"
-      "                 [--no-region-cache] [--incremental]\n"
+      "                 [--hub-degree=<d>] [--no-region-cache] [--incremental]\n"
       "                 [--threads=<n>] [--dpus-per-rank=<n>]\n"
       "                 [--staging=<edges/core>] [--no-pipeline]\n"
       "                 [--json] [--exact-check] [--check-backend=<name>]\n"
@@ -320,6 +321,7 @@ engine::EngineConfig config_from_args(const Args& args) {
   cfg.mg_top = args.u32("mg-top", 32);
   cfg.intersect = tc::intersect_policy_from_string(args.str("intersect", "auto"));
   cfg.gallop_margin = args.u32("gallop-margin", cfg.gallop_margin);
+  cfg.cpu_fast_hub_degree = args.u32("hub-degree", cfg.cpu_fast_hub_degree);
   cfg.region_cache = !args.flag("no-region-cache");
   cfg.incremental = args.flag("incremental");
   cfg.host_threads = args.u32("threads", 0);
@@ -386,16 +388,18 @@ void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
     std::printf(
         ",\"kernel\":{\"intersect\":\"%s\",\"instructions\":%llu,"
         "\"count_instructions\":%llu,"
-        "\"merge_isects\":%llu,\"gallop_isects\":%llu,"
-        "\"merge_picks\":%llu,\"gallop_probes\":%llu,"
+        "\"merge_isects\":%llu,\"gallop_isects\":%llu,\"bitmap_isects\":%llu,"
+        "\"merge_picks\":%llu,\"gallop_probes\":%llu,\"bitmap_probes\":%llu,"
         "\"chunks_claimed\":%llu}",
         r.kernel.intersect.c_str(),
         static_cast<unsigned long long>(r.kernel.instructions),
         static_cast<unsigned long long>(r.kernel.count_instructions),
         static_cast<unsigned long long>(r.kernel.merge_isects),
         static_cast<unsigned long long>(r.kernel.gallop_isects),
+        static_cast<unsigned long long>(r.kernel.bitmap_isects),
         static_cast<unsigned long long>(r.kernel.merge_picks),
         static_cast<unsigned long long>(r.kernel.gallop_probes),
+        static_cast<unsigned long long>(r.kernel.bitmap_probes),
         static_cast<unsigned long long>(r.kernel.chunks_claimed));
   }
   if (r.num_colors > 0) {
@@ -477,14 +481,16 @@ void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
                 r.kind_units[0], r.kind_units[1], r.kind_units[2]);
   }
   if (r.kernel.instructions > 0) {
-    std::printf("kernel:     %s intersect | %llu merge / %llu gallop "
-                "intersections | %llu picks, %llu probes | %llu chunks | "
-                "%llu count instr of %llu total\n",
+    std::printf("kernel:     %s intersect | %llu merge / %llu gallop / "
+                "%llu bitmap intersections | %llu picks, %llu+%llu probes | "
+                "%llu chunks | %llu count instr of %llu total\n",
                 r.kernel.intersect.c_str(),
                 static_cast<unsigned long long>(r.kernel.merge_isects),
                 static_cast<unsigned long long>(r.kernel.gallop_isects),
+                static_cast<unsigned long long>(r.kernel.bitmap_isects),
                 static_cast<unsigned long long>(r.kernel.merge_picks),
                 static_cast<unsigned long long>(r.kernel.gallop_probes),
+                static_cast<unsigned long long>(r.kernel.bitmap_probes),
                 static_cast<unsigned long long>(r.kernel.chunks_claimed),
                 static_cast<unsigned long long>(r.kernel.count_instructions),
                 static_cast<unsigned long long>(r.kernel.instructions));
@@ -583,9 +589,13 @@ int cmd_count(const Args& args) {
     // the same engine code path.  Mixed ± streams default to the exact
     // fully-dynamic oracle.
     parity.ran = true;
+    // cpu-fast is the default oracle (same exact count, ~4x cheaper); when
+    // it is itself the backend under test, fall back to the deliberately
+    // independent implementations (the dynamic adjacency oracle for ±
+    // streams, the CSR baseline otherwise).
     const std::string fallback =
-        mixed ? (backend == "cpu-incremental" ? "pim" : "cpu-incremental")
-              : (backend == "cpu" ? "pim" : "cpu");
+        mixed ? (backend == "cpu-fast" ? "cpu-incremental" : "cpu-fast")
+              : (backend == "cpu-fast" ? "cpu" : "cpu-fast");
     parity.backend = args.str("check-backend", fallback);
     parity.report = run_session(parity.backend);
     parity.relative_err = relative_error(r.estimate, parity.report.estimate);
