@@ -8,6 +8,7 @@
 // distribution the partitioning relies on.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/prng.hpp"
@@ -72,6 +73,139 @@ class ColorHash {
   x *= 0xc4ceb9fe1a85ec53ull;
   x ^= x >> 33;
   return x;
+}
+
+/// Streaming XXH64 (Yann Collet's xxHash, 64-bit variant) — the payload
+/// checksum of the `.pbin` edge format.  Streaming matters there: the
+/// chunked reader verifies a multi-gigabyte payload chunk-at-a-time without
+/// ever holding more than one chunk, and the writer folds each appended
+/// chunk into the running state.  update() in any split of the input
+/// produces the same digest as one call over the concatenation.
+class Xxh64 {
+ public:
+  explicit Xxh64(std::uint64_t seed = 0) noexcept { reset(seed); }
+
+  void reset(std::uint64_t seed = 0) noexcept {
+    v1_ = seed + kP1 + kP2;
+    v2_ = seed + kP2;
+    v3_ = seed;
+    v4_ = seed - kP1;
+    seed_ = seed;
+    total_ = 0;
+    buffered_ = 0;
+  }
+
+  void update(const void* data, std::size_t len) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    total_ += len;
+    if (buffered_ + len < 32) {  // not enough for a stripe yet
+      for (std::size_t i = 0; i < len; ++i) buf_[buffered_ + i] = p[i];
+      buffered_ += len;
+      return;
+    }
+    if (buffered_ > 0) {  // complete the carried stripe
+      const std::size_t take = 32 - buffered_;
+      for (std::size_t i = 0; i < take; ++i) buf_[buffered_ + i] = p[i];
+      consume_stripe(buf_);
+      p += take;
+      len -= take;
+      buffered_ = 0;
+    }
+    while (len >= 32) {
+      consume_stripe(p);
+      p += 32;
+      len -= 32;
+    }
+    for (std::size_t i = 0; i < len; ++i) buf_[i] = p[i];
+    buffered_ = len;
+  }
+
+  /// Digest of everything updated so far; the state stays usable (more
+  /// update() calls continue the same stream).
+  [[nodiscard]] std::uint64_t digest() const noexcept {
+    std::uint64_t h;
+    if (total_ >= 32) {
+      h = rotl(v1_, 1) + rotl(v2_, 7) + rotl(v3_, 12) + rotl(v4_, 18);
+      h = (h ^ round(0, v1_)) * kP1 + kP4;
+      h = (h ^ round(0, v2_)) * kP1 + kP4;
+      h = (h ^ round(0, v3_)) * kP1 + kP4;
+      h = (h ^ round(0, v4_)) * kP1 + kP4;
+    } else {
+      h = seed_ + kP5;
+    }
+    h += total_;
+    const unsigned char* p = buf_;
+    std::size_t len = buffered_;
+    while (len >= 8) {
+      h = rotl(h ^ round(0, read64(p)), 27) * kP1 + kP4;
+      p += 8;
+      len -= 8;
+    }
+    if (len >= 4) {
+      h = rotl(h ^ (static_cast<std::uint64_t>(read32(p)) * kP1), 23) * kP2 +
+          kP3;
+      p += 4;
+      len -= 4;
+    }
+    while (len > 0) {
+      h = rotl(h ^ (*p * kP5), 11) * kP1;
+      ++p;
+      --len;
+    }
+    h ^= h >> 33;
+    h *= kP2;
+    h ^= h >> 29;
+    h *= kP3;
+    h ^= h >> 32;
+    return h;
+  }
+
+ private:
+  static constexpr std::uint64_t kP1 = 0x9e3779b185ebca87ull;
+  static constexpr std::uint64_t kP2 = 0xc2b2ae3d27d4eb4full;
+  static constexpr std::uint64_t kP3 = 0x165667b19e3779f9ull;
+  static constexpr std::uint64_t kP4 = 0x85ebca77c2b2ae63ull;
+  static constexpr std::uint64_t kP5 = 0x27d4eb2f165667c5ull;
+
+  [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x,
+                                                    int r) noexcept {
+    return (x << r) | (x >> (64 - r));
+  }
+  [[nodiscard]] static constexpr std::uint64_t round(
+      std::uint64_t acc, std::uint64_t lane) noexcept {
+    return rotl(acc + lane * kP2, 31) * kP1;
+  }
+  [[nodiscard]] static std::uint64_t read64(const unsigned char* p) noexcept {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];  // little-endian
+    return v;
+  }
+  [[nodiscard]] static std::uint32_t read32(const unsigned char* p) noexcept {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+  }
+  void consume_stripe(const unsigned char* p) noexcept {
+    v1_ = round(v1_, read64(p));
+    v2_ = round(v2_, read64(p + 8));
+    v3_ = round(v3_, read64(p + 16));
+    v4_ = round(v4_, read64(p + 24));
+  }
+
+  std::uint64_t v1_, v2_, v3_, v4_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t total_ = 0;
+  unsigned char buf_[32] = {};
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot XXH64 of a buffer.
+[[nodiscard]] inline std::uint64_t xxhash64(const void* data, std::size_t len,
+                                            std::uint64_t seed = 0) noexcept {
+  Xxh64 h(seed);
+  h.update(data, len);
+  return h.digest();
 }
 
 }  // namespace pimtc

@@ -1,27 +1,40 @@
 #include "graph/io.hpp"
 
 #include <array>
+#include <charconv>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
+
+#include "graph/pbin.hpp"
+#include "graph/stream_reader.hpp"
 
 namespace pimtc::graph {
 namespace {
 
-constexpr std::array<char, 8> kMagic = {'P', 'I', 'M', 'T', 'C', 'C', 'O', '1'};
+constexpr std::array<char, 8> kLegacyMagic = {'P', 'I', 'M', 'T',
+                                              'C', 'C', 'O', '1'};
 
-[[noreturn]] void fail(const std::filesystem::path& path, const char* what) {
+/// Width of the count fields in padded (back-patched) text/mtx headers:
+/// wide enough for any uint64, and the patch rewrites exactly these bytes.
+constexpr int kPadWidth = 20;
+
+[[noreturn]] void fail(const std::filesystem::path& path,
+                       const std::string& what) {
   throw std::runtime_error("pimtc::graph IO error on '" + path.string() +
                            "': " + what);
 }
 
+[[noreturn]] void fail_line(const std::filesystem::path& path,
+                            std::uint64_t line, const std::string& what) {
+  fail(path, "line " + std::to_string(line) + ": " + what);
+}
+
 /// First non-blank character of `line`, or nullptr for a whitespace-only
-/// line.  Downloaded SNAP/KONECT files routinely end with a blank-ish line
-/// or indent their '#' comments; both must parse as skippable, not as
-/// malformed data.
+/// line.
 const char* skip_blank(const std::string& line) {
   const char* p = line.c_str();
   while (*p == ' ' || *p == '\t' || *p == '\r' || *p == '\f' || *p == '\v') {
@@ -30,39 +43,315 @@ const char* skip_blank(const std::string& line) {
   return *p == '\0' ? nullptr : p;
 }
 
-/// Parses "u v" starting at `p`; fails on overflow-sized ids.
-Edge parse_edge_pair(const char* p, const std::filesystem::path& path) {
+/// Parses "u v" starting at `p`; fails (with the line number) on malformed
+/// input or overflow-sized ids.
+Edge parse_edge_pair(const char* p, const std::filesystem::path& path,
+                     std::uint64_t line) {
   char* end = nullptr;
   const std::uint64_t u = std::strtoull(p, &end, 10);
-  if (end == p) fail(path, "malformed line (expected two integers)");
+  if (end == p) fail_line(path, line, "malformed line (expected two integers)");
   p = end;
   const std::uint64_t v = std::strtoull(p, &end, 10);
-  if (end == p) fail(path, "malformed line (expected two integers)");
-  if (u > 0xffffffffull || v > 0xffffffffull) fail(path, "node id > 2^32-1");
+  if (end == p) fail_line(path, line, "malformed line (expected two integers)");
+  if (u > 0xffffffffull || v > 0xffffffffull) {
+    fail_line(path, line, "node id > 2^32-1");
+  }
   return Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)};
 }
+
+/// Drains a chunked reader into an in-memory list (the one-shot readers).
+EdgeList read_all(const std::filesystem::path& path, FileFormat format) {
+  ChunkedEdgeReader reader(path, format);
+  EdgeList list;
+  if (const auto declared = reader.declared_edges()) list.reserve(*declared);
+  for (std::span<const Edge> chunk = reader.next(); !chunk.empty();
+       chunk = reader.next()) {
+    list.append(chunk);
+  }
+  return list;
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writer sinks.  Each buffers formatted output in one reused block
+// and back-patches its header on finish() when the counts were not declared
+// up front.
+
+class FileSink {
+ public:
+  FileSink(const std::filesystem::path& path) : path_(path) {
+    file_ = std::fopen(path.c_str(), "wb");
+    if (file_ == nullptr) fail(path_, "cannot open for writing");
+  }
+
+  ~FileSink() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  void write(const void* data, std::size_t bytes) {
+    if (std::fwrite(data, 1, bytes, file_) != bytes) {
+      fail(path_, "write failed");
+    }
+  }
+
+  void patch_at(long offset, const void* data, std::size_t bytes) {
+    if (std::fseek(file_, offset, SEEK_SET) != 0) fail(path_, "write failed");
+    write(data, bytes);
+  }
+
+  [[nodiscard]] long tell() {
+    const long pos = std::ftell(file_);
+    if (pos < 0) fail(path_, "write failed");
+    return pos;
+  }
+
+  void close() {
+    std::FILE* f = file_;
+    file_ = nullptr;
+    if (f != nullptr && std::fclose(f) != 0) fail(path_, "write failed");
+  }
+
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+
+ private:
+  std::filesystem::path path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// Appends the decimal digits of `v` to `out`.
+void append_u64(std::vector<char>& out, std::uint64_t v) {
+  char tmp[20];
+  const auto res = std::to_chars(tmp, tmp + sizeof tmp, v);
+  out.insert(out.end(), tmp, res.ptr);
+}
+
+constexpr std::size_t kSinkFlushBytes = std::size_t{1} << 20;
+
+/// Text sink: the write_coo_text format.  With declared counts the header
+/// is emitted in final (compact) form immediately — the byte-stable
+/// round-trip path; otherwise it is padded and patched on finish().
+class TextSink final : public EdgeWriter {
+ public:
+  TextSink(const std::filesystem::path& path, const WriterOptions& options)
+      : sink_(path), patch_(!(options.declared_edges && options.declared_nodes)) {
+    char header[96];
+    int len;
+    if (!patch_) {
+      len = std::snprintf(header, sizeof header,
+                          "# pimtc COO edge list; %llu edges, %llu nodes\n",
+                          static_cast<unsigned long long>(*options.declared_edges),
+                          static_cast<unsigned long long>(*options.declared_nodes));
+    } else {
+      len = std::snprintf(header, sizeof header,
+                          "# pimtc COO edge list; %*llu edges, %*llu nodes\n",
+                          kPadWidth, 0ull, kPadWidth, 0ull);
+    }
+    sink_.write(header, static_cast<std::size_t>(len));
+    buf_.reserve(kSinkFlushBytes + 64);
+  }
+
+  ~TextSink() override {
+    try {
+      finish();
+    } catch (...) {  // destructor path: errors surface via explicit finish()
+    }
+  }
+
+  void append(std::span<const Edge> chunk) override {
+    for (const Edge& e : chunk) {
+      append_u64(buf_, e.u);
+      buf_.push_back(' ');
+      append_u64(buf_, e.v);
+      buf_.push_back('\n');
+      if (buf_.size() >= kSinkFlushBytes) flush();
+    }
+    account(chunk);
+  }
+
+  void finish() override {
+    if (finished_) return;
+    finished_ = true;
+    flush();
+    if (patch_) {
+      char header[96];
+      const int len = std::snprintf(
+          header, sizeof header,
+          "# pimtc COO edge list; %*llu edges, %*llu nodes\n", kPadWidth,
+          static_cast<unsigned long long>(edges_), kPadWidth,
+          static_cast<unsigned long long>(nodes_));
+      sink_.patch_at(0, header, static_cast<std::size_t>(len));
+    }
+    sink_.close();
+  }
+
+ private:
+  void flush() {
+    if (!buf_.empty()) sink_.write(buf_.data(), buf_.size());
+    buf_.clear();
+  }
+
+  FileSink sink_;
+  std::vector<char> buf_;
+  bool patch_;
+  bool finished_ = false;
+};
+
+/// MatrixMarket sink: "pattern general" banner, square dimensions equal to
+/// the node bound, 1-based entries.
+class MtxSink final : public EdgeWriter {
+ public:
+  MtxSink(const std::filesystem::path& path, const WriterOptions& options)
+      : sink_(path), patch_(!(options.declared_edges && options.declared_nodes)) {
+    const char* banner = "%%MatrixMarket matrix coordinate pattern general\n";
+    sink_.write(banner, std::strlen(banner));
+    size_line_offset_ = sink_.tell();
+    char line[96];
+    int len;
+    if (!patch_) {
+      len = std::snprintf(
+          line, sizeof line, "%llu %llu %llu\n",
+          static_cast<unsigned long long>(*options.declared_nodes),
+          static_cast<unsigned long long>(*options.declared_nodes),
+          static_cast<unsigned long long>(*options.declared_edges));
+    } else {
+      len = std::snprintf(line, sizeof line, "%*llu %*llu %*llu\n", kPadWidth,
+                          0ull, kPadWidth, 0ull, kPadWidth, 0ull);
+    }
+    sink_.write(line, static_cast<std::size_t>(len));
+    buf_.reserve(kSinkFlushBytes + 64);
+  }
+
+  ~MtxSink() override {
+    try {
+      finish();
+    } catch (...) {
+    }
+  }
+
+  void append(std::span<const Edge> chunk) override {
+    for (const Edge& e : chunk) {
+      append_u64(buf_, std::uint64_t{e.u} + 1);
+      buf_.push_back(' ');
+      append_u64(buf_, std::uint64_t{e.v} + 1);
+      buf_.push_back('\n');
+      if (buf_.size() >= kSinkFlushBytes) flush();
+    }
+    account(chunk);
+  }
+
+  void finish() override {
+    if (finished_) return;
+    finished_ = true;
+    flush();
+    if (patch_) {
+      char line[96];
+      const int len = std::snprintf(line, sizeof line, "%*llu %*llu %*llu\n",
+                                    kPadWidth,
+                                    static_cast<unsigned long long>(nodes_),
+                                    kPadWidth,
+                                    static_cast<unsigned long long>(nodes_),
+                                    kPadWidth,
+                                    static_cast<unsigned long long>(edges_));
+      sink_.patch_at(size_line_offset_, line, static_cast<std::size_t>(len));
+    }
+    sink_.close();
+  }
+
+ private:
+  void flush() {
+    if (!buf_.empty()) sink_.write(buf_.data(), buf_.size());
+    buf_.clear();
+  }
+
+  FileSink sink_;
+  std::vector<char> buf_;
+  long size_line_offset_ = 0;
+  bool patch_;
+  bool finished_ = false;
+};
+
+/// Legacy ".bin" sink: magic + u64 count (patched on finish) + raw records.
+class LegacyBinSink final : public EdgeWriter {
+ public:
+  explicit LegacyBinSink(const std::filesystem::path& path) : sink_(path) {
+    sink_.write(kLegacyMagic.data(), kLegacyMagic.size());
+    const std::uint64_t zero = 0;
+    sink_.write(&zero, sizeof zero);
+  }
+
+  ~LegacyBinSink() override {
+    try {
+      finish();
+    } catch (...) {
+    }
+  }
+
+  void append(std::span<const Edge> chunk) override {
+    if (!chunk.empty()) sink_.write(chunk.data(), chunk.size_bytes());
+    account(chunk);
+  }
+
+  void finish() override {
+    if (finished_) return;
+    finished_ = true;
+    const std::uint64_t count = edges_;
+    sink_.patch_at(8, &count, sizeof count);
+    sink_.close();
+  }
+
+ private:
+  FileSink sink_;
+  bool finished_ = false;
+};
+
+/// `.pbin` sink: a thin EdgeWriter adapter over PbinWriter.
+class PbinSink final : public EdgeWriter {
+ public:
+  PbinSink(const std::filesystem::path& path, const WriterOptions& options)
+      : writer_(path, options.with_checksum) {}
+
+  void append(std::span<const Edge> chunk) override {
+    writer_.append(chunk);
+    account(chunk);
+  }
+
+  void finish() override { writer_.finish(); }
+
+ private:
+  PbinWriter writer_;
+};
 
 }  // namespace
 
 EdgeList read_coo_text(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) fail(path, "cannot open for reading");
-  EdgeList list;
-  std::string line;
-  while (std::getline(in, line)) {
-    const char* p = skip_blank(line);
-    if (p == nullptr || *p == '#' || *p == '%') continue;
-    list.push_back(parse_edge_pair(p, path));
-  }
-  return list;
+  return read_all(path, FileFormat::kText);
+}
+
+EdgeList read_coo_binary(const std::filesystem::path& path) {
+  return read_all(path, FileFormat::kBinLegacy);
+}
+
+EdgeList read_coo_mtx(const std::filesystem::path& path) {
+  return read_all(path, FileFormat::kMtx);
+}
+
+EdgeList read_coo(const std::filesystem::path& path) {
+  const FileFormat format = file_format_of(path);
+  // `.pbin` goes through the one-shot reader for the header node-bound
+  // cross-check; everything else drains the chunked reader.
+  if (format == FileFormat::kPbin) return read_bin(path);
+  return read_all(path, format);
 }
 
 std::vector<EdgeUpdate> read_update_stream(const std::filesystem::path& path) {
   std::ifstream in(path);
   if (!in) fail(path, "cannot open for reading");
   std::vector<EdgeUpdate> updates;
-  std::string line;
+  std::string line;  // one growable buffer reused for every line
+  std::uint64_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     const char* p = skip_blank(line);
     if (p == nullptr || *p == '#' || *p == '%') continue;
     bool is_insert = true;
@@ -70,115 +359,49 @@ std::vector<EdgeUpdate> read_update_stream(const std::filesystem::path& path) {
       is_insert = *p == '+';
       ++p;
     }
-    const Edge e = parse_edge_pair(p, path);
+    const Edge e = parse_edge_pair(p, path, line_no);
     updates.push_back(is_insert ? insert_of(e) : delete_of(e));
   }
   return updates;
 }
 
 void write_coo_text(const EdgeList& list, const std::filesystem::path& path) {
-  std::ofstream out(path);
-  if (!out) fail(path, "cannot open for writing");
-  out << "# pimtc COO edge list; " << list.num_edges() << " edges, "
-      << list.num_nodes() << " nodes\n";
-  for (const Edge& e : list) out << e.u << ' ' << e.v << '\n';
-  if (!out) fail(path, "write failed");
+  WriterOptions options;
+  options.declared_edges = list.num_edges();
+  options.declared_nodes = list.num_nodes();
+  TextSink sink(path, options);
+  sink.append(list.edges());
+  sink.finish();
 }
 
-EdgeList read_coo_binary(const std::filesystem::path& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail(path, "cannot open for reading");
-  std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || magic != kMagic) fail(path, "bad magic (not a pimtc COO file)");
-  std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in) fail(path, "truncated header");
-  std::vector<Edge> edges(count);
-  in.read(reinterpret_cast<char*>(edges.data()),
-          static_cast<std::streamsize>(count * sizeof(Edge)));
-  if (!in) fail(path, "truncated edge payload");
-  return EdgeList(std::move(edges));
+void write_coo_mtx(const EdgeList& list, const std::filesystem::path& path) {
+  WriterOptions options;
+  options.declared_edges = list.num_edges();
+  options.declared_nodes = list.num_nodes();
+  MtxSink sink(path, options);
+  sink.append(list.edges());
+  sink.finish();
 }
 
 void write_coo_binary(const EdgeList& list, const std::filesystem::path& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) fail(path, "cannot open for writing");
-  out.write(kMagic.data(), kMagic.size());
-  const std::uint64_t count = list.num_edges();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
-  out.write(reinterpret_cast<const char*>(list.edges().data()),
-            static_cast<std::streamsize>(count * sizeof(Edge)));
-  if (!out) fail(path, "write failed");
+  LegacyBinSink sink(path);
+  sink.append(list.edges());
+  sink.finish();
 }
 
-EdgeList read_coo_mtx(const std::filesystem::path& path) {
-  std::ifstream in(path);
-  if (!in) fail(path, "cannot open for reading");
-  std::string line;
-
-  // Banner: "%%MatrixMarket <object> <format> [field] [symmetry]".  Only
-  // sparse matrices make sense as edge lists; a dense "array" file has no
-  // index columns to read.
-  if (!std::getline(in, line)) fail(path, "empty file");
-  {
-    std::istringstream banner(line);
-    std::string tag;
-    std::string object;
-    std::string format;
-    banner >> tag >> object >> format;
-    if (tag != "%%MatrixMarket") fail(path, "missing %%MatrixMarket banner");
-    if (object != "matrix" || format != "coordinate") {
-      fail(path, "only 'matrix coordinate' MatrixMarket files are supported");
-    }
+std::unique_ptr<EdgeWriter> make_edge_writer(const std::filesystem::path& path,
+                                             WriterOptions options) {
+  switch (file_format_of(path)) {
+    case FileFormat::kPbin:
+      return std::make_unique<PbinSink>(path, options);
+    case FileFormat::kBinLegacy:
+      return std::make_unique<LegacyBinSink>(path);
+    case FileFormat::kMtx:
+      return std::make_unique<MtxSink>(path, options);
+    case FileFormat::kText:
+      return std::make_unique<TextSink>(path, options);
   }
-
-  // Comments, then the "rows cols nnz" size line.
-  std::uint64_t rows = 0;
-  std::uint64_t cols = 0;
-  std::uint64_t nnz = 0;
-  for (;;) {
-    if (!std::getline(in, line)) fail(path, "missing size line");
-    if (line.empty() || line[0] == '%') continue;
-    std::istringstream sizes(line);
-    if (!(sizes >> rows >> cols >> nnz)) {
-      fail(path, "malformed size line (expected 'rows cols nnz')");
-    }
-    if (rows > 0xffffffffull || cols > 0xffffffffull) {
-      fail(path, "matrix dimension > 2^32-1");
-    }
-    break;
-  }
-
-  EdgeList list;
-  list.reserve(nnz);
-  std::uint64_t seen = 0;
-  while (seen < nnz && std::getline(in, line)) {
-    if (line.empty() || line[0] == '%') continue;
-    const char* p = line.c_str();
-    char* end = nullptr;
-    const std::uint64_t i = std::strtoull(p, &end, 10);
-    if (end == p) fail(path, "malformed entry (expected two integers)");
-    p = end;
-    const std::uint64_t j = std::strtoull(p, &end, 10);
-    if (end == p) fail(path, "malformed entry (expected two integers)");
-    // Trailing value column(s) of real/integer/complex fields are ignored.
-    if (i == 0 || j == 0) fail(path, "MatrixMarket indices are 1-based");
-    if (i > rows || j > cols) {
-      fail(path, "entry index exceeds the declared matrix dimensions");
-    }
-    list.push_back(Edge{static_cast<NodeId>(i - 1),
-                        static_cast<NodeId>(j - 1)});
-    ++seen;
-  }
-  if (seen < nnz) fail(path, "fewer entries than the size line promised");
-  return list;
-}
-
-EdgeList read_coo(const std::filesystem::path& path) {
-  if (path.extension() == ".bin") return read_coo_binary(path);
-  if (path.extension() == ".mtx") return read_coo_mtx(path);
-  return read_coo_text(path);
+  throw std::runtime_error("unreachable");
 }
 
 }  // namespace pimtc::graph

@@ -3,12 +3,20 @@
 // Text format: one "u v" pair per line; lines whose first non-blank
 // character is '#' or '%' are comments (SNAP / KONECT conventions) and
 // whitespace-only lines are skipped — downloaded datasets routinely carry
-// a trailing blank line or indented comments.  Binary format: magic
-// "PIMTCCO1", a uint64 edge count, then raw little-endian Edge records —
-// the fast path for benchmark fixtures.  MatrixMarket (".mtx") coordinate
-// files — the SuiteSparse collection's native format — load directly: the
-// banner and '%' comments are handled, entries are 1-based and converted,
-// and any value column (real/integer/pattern) is ignored.
+// a trailing blank line or indented comments.  Legacy binary format
+// (".bin"): magic "PIMTCCO1", a uint64 edge count, then raw little-endian
+// Edge records.  The current binary format is ".pbin" (graph/pbin.hpp):
+// versioned header, node/edge counts and an XXH64 payload checksum.
+// MatrixMarket (".mtx") coordinate files — the SuiteSparse collection's
+// native format — load directly: the banner and '%' comments are handled,
+// entries are 1-based and converted, and any value column
+// (real/integer/pattern) is ignored.
+//
+// All readers here are one-shot conveniences over the chunked streaming
+// reader (graph/stream_reader.hpp); errors name the file and, for the
+// line-oriented formats, the 1-based line.  The EdgeWriter sinks are the
+// streaming write side — `pimtc convert` pipes reader chunks into one, so
+// any-format-to-any-format conversion runs in O(chunk) memory.
 //
 // Update-stream format (fully-dynamic counting, `pimtc count --stream=`):
 // one update per line — "+u v" inserts, "-u v" deletes, a bare "u v" is an
@@ -16,7 +24,11 @@
 // blank lines follow the text-COO rules.
 #pragma once
 
+#include <cstdint>
 #include <filesystem>
+#include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,13 +49,67 @@ void write_coo_binary(const EdgeList& list, const std::filesystem::path& path);
 /// Self loops and duplicates are kept (graph::preprocess removes them).
 [[nodiscard]] EdgeList read_coo_mtx(const std::filesystem::path& path);
 
-/// Dispatches on extension: ".bin" -> binary, ".mtx" -> MatrixMarket,
-/// anything else -> text.
+/// MatrixMarket coordinate writer: "pattern general" banner, square
+/// dimensions equal to the node bound, one 1-based entry per edge.
+void write_coo_mtx(const EdgeList& list, const std::filesystem::path& path);
+
+/// Dispatches on extension via file_format_of: ".pbin", ".bin", ".mtx",
+/// or a text extension.  Unknown extensions throw, naming the supported
+/// formats — they are not silently parsed as text.
 [[nodiscard]] EdgeList read_coo(const std::filesystem::path& path);
 
 /// Reads a ± update stream ("+u v" / "-u v" / bare "u v" per line) for the
 /// fully-dynamic counting session.
 [[nodiscard]] std::vector<EdgeUpdate> read_update_stream(
     const std::filesystem::path& path);
+
+/// Options for make_edge_writer.
+struct WriterOptions {
+  /// `.pbin` only: checksum the payload (kPbinFlagChecksum).
+  bool with_checksum = true;
+
+  /// Exact counts, when the caller knows them up front (a `.pbin` or `.mtx`
+  /// source header).  With counts the text/mtx headers are emitted in final
+  /// form immediately — this is what makes text -> pbin -> text reproduce
+  /// the original byte-for-byte.  Without them the header is written padded
+  /// and patched by finish().
+  std::optional<EdgeCount> declared_edges;
+  std::optional<std::uint64_t> declared_nodes;
+};
+
+/// Streaming edge sink: append() chunks in arrival order, then finish().
+/// Formats whose header carries counts (all except plain text with counts
+/// known up front) back-patch the header on finish(), so a source of
+/// unknown length converts in O(chunk) memory.  finish() is called
+/// best-effort by the destructor; call it explicitly to see write errors.
+class EdgeWriter {
+ public:
+  virtual ~EdgeWriter() = default;
+
+  virtual void append(std::span<const Edge> chunk) = 0;
+  virtual void finish() = 0;
+
+  [[nodiscard]] EdgeCount edges_written() const noexcept { return edges_; }
+  /// One past the largest node id appended so far.
+  [[nodiscard]] std::uint64_t node_bound() const noexcept { return nodes_; }
+
+ protected:
+  /// Folds a chunk into the edge/node counters.
+  void account(std::span<const Edge> chunk) noexcept {
+    edges_ += chunk.size();
+    for (const Edge& e : chunk) {
+      const std::uint64_t bound = std::uint64_t{e.u > e.v ? e.u : e.v} + 1;
+      if (bound > nodes_) nodes_ = bound;
+    }
+  }
+
+  EdgeCount edges_ = 0;
+  std::uint64_t nodes_ = 0;
+};
+
+/// Streaming writer for `path`, dispatched by extension (same table as
+/// file_format_of; unknown extensions throw).
+[[nodiscard]] std::unique_ptr<EdgeWriter> make_edge_writer(
+    const std::filesystem::path& path, WriterOptions options = {});
 
 }  // namespace pimtc::graph

@@ -1,0 +1,101 @@
+// `.pbin` — the compact binary edge format of the out-of-core data path.
+//
+// Text and MatrixMarket parsing dominate end-to-end time once graphs stop
+// fitting in page cache (the GraphChallenge survey's ingest observation);
+// `.pbin` stores the same COO stream as fixed-width little-endian records
+// behind a 40-byte header, so ingest becomes a sequential byte copy and the
+// chunked reader (stream_reader.hpp) can mmap it and hand out zero-copy
+// chunk views.  Layout, all fields little-endian:
+//
+//   offset  size  field
+//        0     8  magic "PIMTCPB1"
+//        8     4  version (currently 1)
+//       12     4  flags (bit 0: checksum present)
+//       16     8  num_nodes — one past the largest referenced node id
+//       24     8  num_edges
+//       32     8  XXH64 of the edge payload (seed 0), 0 when the flag is off
+//       40  m*8  edge records: u then v, 4 bytes each
+//
+// The checksum is optional (--no-checksum on `pimtc convert`) because
+// scratch conversions of huge files may not want the extra read pass; when
+// present, both read_bin and the streaming reader verify it.  Writers that
+// do not know the edge count up front stream through PbinWriter, which
+// back-patches the header on finish().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <span>
+
+#include "common/hash.hpp"
+#include "graph/coo.hpp"
+
+namespace pimtc::graph {
+
+inline constexpr std::array<char, 8> kPbinMagic = {'P', 'I', 'M', 'T',
+                                                   'C', 'P', 'B', '1'};
+inline constexpr std::uint32_t kPbinVersion = 1;
+inline constexpr std::uint32_t kPbinFlagChecksum = 1u << 0;
+inline constexpr std::size_t kPbinHeaderBytes = 40;
+
+/// Decoded `.pbin` header.
+struct PbinInfo {
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t num_nodes = 0;
+  EdgeCount num_edges = 0;
+  std::uint64_t checksum = 0;
+
+  [[nodiscard]] bool has_checksum() const noexcept {
+    return (flags & kPbinFlagChecksum) != 0;
+  }
+};
+
+/// Reads and validates the header only (magic, version, payload size vs the
+/// file size).  Cheap: one 40-byte read plus a stat.
+[[nodiscard]] PbinInfo read_bin_header(const std::filesystem::path& path);
+
+/// Streaming `.pbin` writer: append edge chunks in arrival order, then
+/// finish() seeks back and writes the real header (edge count, node bound,
+/// payload checksum).  This is what `pimtc convert` uses so a text source
+/// of unknown length converts in O(chunk) memory.  The destructor calls
+/// finish() best-effort; call it explicitly to see write errors.
+class PbinWriter {
+ public:
+  explicit PbinWriter(const std::filesystem::path& path,
+                      bool with_checksum = true);
+  ~PbinWriter();
+
+  PbinWriter(const PbinWriter&) = delete;
+  PbinWriter& operator=(const PbinWriter&) = delete;
+
+  void append(std::span<const Edge> chunk);
+  void finish();
+
+  [[nodiscard]] EdgeCount edges_written() const noexcept { return edges_; }
+  /// One past the largest node id appended so far.
+  [[nodiscard]] std::uint64_t node_bound() const noexcept { return nodes_; }
+
+ private:
+  std::filesystem::path path_;
+  std::FILE* file_ = nullptr;
+  Xxh64 hash_;
+  bool with_checksum_;
+  bool finished_ = false;
+  EdgeCount edges_ = 0;
+  std::uint64_t nodes_ = 0;
+};
+
+/// One-shot writer: the whole list through a PbinWriter.
+void write_bin(const EdgeList& list, const std::filesystem::path& path,
+               bool with_checksum = true);
+
+/// One-shot reader: the whole payload into memory, checksum verified when
+/// present (and `verify_checksum`).  The streaming path for graphs beyond
+/// RAM is ChunkedEdgeReader / engine::ingest_file.
+[[nodiscard]] EdgeList read_bin(const std::filesystem::path& path,
+                                bool verify_checksum = true);
+
+}  // namespace pimtc::graph

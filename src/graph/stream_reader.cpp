@@ -1,0 +1,410 @@
+#include "graph/stream_reader.hpp"
+
+#include <array>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/pbin.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PIMTC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define PIMTC_HAVE_MMAP 0
+#endif
+
+namespace pimtc::graph {
+namespace {
+
+constexpr std::size_t kReadBlock = std::size_t{1} << 20;  // buffered IO block
+
+constexpr std::array<char, 8> kLegacyMagic = {'P', 'I', 'M', 'T',
+                                              'C', 'C', 'O', '1'};
+
+[[nodiscard]] bool is_blank(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v';
+}
+
+/// Strict base-10 u64 parse over a non-NUL-terminated range: skips leading
+/// blanks, then consumes digits only (no sign, no hex).  Saturates instead
+/// of wrapping on overflow so the caller's range check still fires.
+[[nodiscard]] bool parse_u64(const char*& p, const char* end,
+                             std::uint64_t& out) noexcept {
+  while (p != end && is_blank(*p)) ++p;
+  if (p == end || *p < '0' || *p > '9') return false;
+  std::uint64_t v = 0;
+  bool overflow = false;
+  while (p != end && *p >= '0' && *p <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(*p - '0');
+    if (v > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      overflow = true;
+    } else {
+      v = v * 10 + digit;
+    }
+    ++p;
+  }
+  out = overflow ? std::numeric_limits<std::uint64_t>::max() : v;
+  return true;
+}
+
+}  // namespace
+
+const char* to_string(FileFormat format) noexcept {
+  switch (format) {
+    case FileFormat::kText: return "text";
+    case FileFormat::kMtx: return "mtx";
+    case FileFormat::kBinLegacy: return "bin";
+    case FileFormat::kPbin: return "pbin";
+  }
+  return "?";
+}
+
+FileFormat file_format_of(const std::filesystem::path& path) {
+  const std::string ext = path.extension().string();
+  if (ext == ".pbin") return FileFormat::kPbin;
+  if (ext == ".bin") return FileFormat::kBinLegacy;
+  if (ext == ".mtx") return FileFormat::kMtx;
+  if (ext == ".txt" || ext == ".text" || ext == ".el" || ext == ".edges" ||
+      ext == ".coo" || ext == ".graph" || ext == ".tsv") {
+    return FileFormat::kText;
+  }
+  throw std::runtime_error(
+      "pimtc::graph IO error on '" + path.string() +
+      "': unsupported graph file extension '" + ext +
+      "' (supported: .txt/.text/.el/.edges/.coo/.graph/.tsv text COO, "
+      ".mtx MatrixMarket, .bin legacy binary, .pbin pimtc binary)");
+}
+
+ChunkedEdgeReader::ChunkedEdgeReader(const std::filesystem::path& path,
+                                     ReaderOptions options)
+    : ChunkedEdgeReader(path, file_format_of(path), options) {}
+
+ChunkedEdgeReader::ChunkedEdgeReader(const std::filesystem::path& path,
+                                     FileFormat format, ReaderOptions options)
+    : path_(path), format_(format), options_(options) {
+  if (options_.chunk_edges == 0) {
+    throw std::invalid_argument("ChunkedEdgeReader: chunk_edges must be >= 1");
+  }
+  open_input();
+  switch (format_) {
+    case FileFormat::kPbin:
+    case FileFormat::kBinLegacy:
+      parse_binary_header();
+      break;
+    case FileFormat::kMtx:
+      parse_mtx_header();
+      break;
+    case FileFormat::kText:
+      break;
+  }
+}
+
+ChunkedEdgeReader::~ChunkedEdgeReader() {
+#if PIMTC_HAVE_MMAP
+  if (map_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(map_), file_bytes_);
+  }
+  if (fd_ >= 0) ::close(fd_);
+#endif
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void ChunkedEdgeReader::fail(const std::string& what) const {
+  throw std::runtime_error("pimtc::graph IO error on '" + path_.string() +
+                           "': " + what);
+}
+
+void ChunkedEdgeReader::fail_line(const std::string& what) const {
+  fail("line " + std::to_string(line_) + ": " + what);
+}
+
+void ChunkedEdgeReader::open_input() {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path_, ec);
+  if (ec) fail("cannot open for reading");
+  file_bytes_ = static_cast<std::size_t>(size);
+
+#if PIMTC_HAVE_MMAP
+  if (options_.use_mmap && file_bytes_ > 0) {
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    if (fd_ >= 0) {
+      void* m =
+          ::mmap(nullptr, file_bytes_, PROT_READ, MAP_PRIVATE, fd_, 0);
+      if (m != MAP_FAILED) {
+        map_ = static_cast<const unsigned char*>(m);
+        // Sequential streaming access: let the kernel read ahead freely.
+        ::madvise(m, file_bytes_, MADV_SEQUENTIAL);
+        win_ = reinterpret_cast<const char*>(map_);
+        win_end_ = win_ + file_bytes_;
+        input_exhausted_ = true;  // the whole file is the window
+        return;
+      }
+      ::close(fd_);
+      fd_ = -1;
+    }
+    // Fall through to the buffered path: mapping is an optimization, not a
+    // requirement.
+  }
+#endif
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) fail("cannot open for reading");
+  win_ = win_end_ = nullptr;
+}
+
+void ChunkedEdgeReader::parse_binary_header() {
+  const bool pbin = format_ == FileFormat::kPbin;
+  const std::size_t header_bytes = pbin ? kPbinHeaderBytes : 16;
+  if (pbin) {
+    // read_bin_header validates magic, version and payload size.
+    const PbinInfo info = read_bin_header(path_);
+    declared_edges_ = info.num_edges;
+    declared_nodes_ = info.num_nodes;
+    has_checksum_ = options_.verify_checksum && info.has_checksum();
+    checksum_expect_ = info.checksum;
+  } else {
+    unsigned char raw[16];
+    if (file_bytes_ < sizeof raw) fail("truncated header");
+    if (map_ != nullptr) {
+      std::memcpy(raw, map_, sizeof raw);
+    } else {
+      if (std::fread(raw, 1, sizeof raw, file_) != sizeof raw) {
+        fail("truncated header");
+      }
+    }
+    if (std::memcmp(raw, kLegacyMagic.data(), kLegacyMagic.size()) != 0) {
+      fail("bad magic (not a pimtc COO file)");
+    }
+    std::uint64_t count = 0;
+    std::memcpy(&count, raw + 8, sizeof count);
+    declared_edges_ = count;
+    if (file_bytes_ < sizeof raw + count * sizeof(Edge)) {
+      fail("truncated edge payload");
+    }
+  }
+  if (map_ == nullptr && pbin) {
+    // The pbin header was read through read_bin_header; advance the stream.
+    if (std::fseek(file_, static_cast<long>(header_bytes), SEEK_SET) != 0) {
+      fail("truncated header");
+    }
+  }
+  payload_offset_ = header_bytes;
+  payload_end_ = header_bytes + *declared_edges_ * sizeof(Edge);
+}
+
+std::string ChunkedEdgeReader::take_header_line() {
+  for (;;) {
+    if (win_ != win_end_) {
+      const char* nl = static_cast<const char*>(
+          std::memchr(win_, '\n', static_cast<std::size_t>(win_end_ - win_)));
+      if (nl != nullptr) {
+        ++line_;
+        std::string out(win_, nl);
+        win_ = nl + 1;
+        return out;
+      }
+      if (input_exhausted_) {  // final line without a newline
+        ++line_;
+        std::string out(win_, win_end_);
+        win_ = win_end_;
+        return out;
+      }
+    } else if (input_exhausted_) {
+      fail("unexpected end of file in the MatrixMarket header");
+    }
+    if (!refill_window() && win_ == win_end_) {
+      fail("unexpected end of file in the MatrixMarket header");
+    }
+  }
+}
+
+void ChunkedEdgeReader::parse_mtx_header() {
+  if (file_bytes_ == 0) fail("empty file");
+  // Banner: "%%MatrixMarket <object> <format> [field] [symmetry]".  Only
+  // sparse matrices make sense as edge lists.
+  {
+    std::istringstream banner(take_header_line());
+    std::string tag;
+    std::string object;
+    std::string fmt;
+    banner >> tag >> object >> fmt;
+    if (tag != "%%MatrixMarket") {
+      fail_line("missing %%MatrixMarket banner");
+    }
+    if (object != "matrix" || fmt != "coordinate") {
+      fail_line("only 'matrix coordinate' MatrixMarket files are supported");
+    }
+  }
+  // Comments, then the "rows cols nnz" size line.
+  for (;;) {
+    const std::string raw = take_header_line();
+    if (raw.empty() || raw[0] == '%') continue;
+    const char* p = raw.data();
+    const char* end = raw.data() + raw.size();
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+    std::uint64_t nnz = 0;
+    if (!parse_u64(p, end, rows) || !parse_u64(p, end, cols) ||
+        !parse_u64(p, end, nnz)) {
+      fail_line("malformed size line (expected 'rows cols nnz')");
+    }
+    // Indices are 1-based, so a dimension of 2^32 still fits NodeId after
+    // the -1 shift.
+    if (rows > (1ull << 32) || cols > (1ull << 32)) {
+      fail_line("matrix dimension > 2^32");
+    }
+    mtx_rows_ = rows;
+    mtx_cols_ = cols;
+    mtx_remaining_ = nnz;
+    declared_edges_ = nnz;
+    declared_nodes_ = rows > cols ? rows : cols;
+    return;
+  }
+}
+
+bool ChunkedEdgeReader::refill_window() {
+  if (map_ != nullptr || file_ == nullptr || input_exhausted_) return false;
+  const std::size_t rem = static_cast<std::size_t>(win_end_ - win_);
+  if (rem > 0 && win_ != buf_.data()) {
+    std::memmove(buf_.data(), win_, rem);
+  }
+  // One growable block buffer reused for the whole file; grows only when a
+  // single line exceeds it.
+  if (buf_.size() < rem + kReadBlock) buf_.resize(rem + kReadBlock);
+  const std::size_t want = buf_.size() - rem;
+  const std::size_t got = std::fread(buf_.data() + rem, 1, want, file_);
+  if (got < want) {
+    if (std::ferror(file_) != 0) fail("read failed");
+    input_exhausted_ = true;
+  }
+  win_ = buf_.data();
+  win_end_ = buf_.data() + rem + got;
+  return got > 0;
+}
+
+void ChunkedEdgeReader::consume_line(const char* p, const char* end,
+                                     std::vector<Edge>& out) {
+  ++line_;
+  while (p != end && is_blank(*p)) ++p;
+  if (p == end || *p == '#' || *p == '%') return;  // blank or comment
+  std::uint64_t u = 0;
+  std::uint64_t v = 0;
+  if (!parse_u64(p, end, u) || !parse_u64(p, end, v)) {
+    fail_line(format_ == FileFormat::kMtx
+                  ? "malformed entry (expected two integers)"
+                  : "malformed line (expected two integers)");
+  }
+  if (format_ == FileFormat::kMtx) {
+    // Trailing value column(s) of real/integer/complex fields are ignored.
+    if (u == 0 || v == 0) fail_line("MatrixMarket indices are 1-based");
+    if (u > mtx_rows_ || v > mtx_cols_) {
+      fail_line("entry index exceeds the declared matrix dimensions");
+    }
+    out.push_back(Edge{static_cast<NodeId>(u - 1),
+                       static_cast<NodeId>(v - 1)});
+    --mtx_remaining_;
+    return;
+  }
+  if (u > 0xffffffffull || v > 0xffffffffull) fail_line("node id > 2^32-1");
+  out.push_back(Edge{static_cast<NodeId>(u), static_cast<NodeId>(v)});
+}
+
+std::span<const Edge> ChunkedEdgeReader::next_lines() {
+  std::vector<Edge>& out = out_[out_index_];
+  out_index_ ^= 1;
+  out.clear();
+  if (out.capacity() < options_.chunk_edges) out.reserve(options_.chunk_edges);
+
+  while (out.size() < options_.chunk_edges) {
+    if (format_ == FileFormat::kMtx && mtx_remaining_ == 0) {
+      // The size line's promise is fulfilled; trailing content is ignored
+      // (same contract as the one-shot reader).
+      done_ = true;
+      break;
+    }
+    if (win_ == win_end_) {
+      if (refill_window()) continue;
+      if (format_ == FileFormat::kMtx && mtx_remaining_ > 0) {
+        fail("fewer entries than the size line promised");
+      }
+      done_ = true;
+      break;
+    }
+    const char* nl = static_cast<const char*>(
+        std::memchr(win_, '\n', static_cast<std::size_t>(win_end_ - win_)));
+    if (nl == nullptr && !input_exhausted_) {
+      if (refill_window()) continue;
+    }
+    const char* line_end = nl != nullptr ? nl : win_end_;
+    consume_line(win_, line_end, out);
+    win_ = nl != nullptr ? nl + 1 : win_end_;
+  }
+  edges_read_ += out.size();
+  return out;
+}
+
+std::span<const Edge> ChunkedEdgeReader::next_binary() {
+  const std::size_t remaining =
+      (payload_end_ - payload_offset_) / sizeof(Edge);
+  const std::size_t n =
+      remaining < options_.chunk_edges ? remaining : options_.chunk_edges;
+  if (n == 0) {
+    done_ = true;
+    if (has_checksum_ && !checksum_checked_) {
+      // Zero-edge payload: the checksum still covers the empty string.
+      checksum_checked_ = true;
+      if (hash_.digest() != checksum_expect_) {
+        fail("payload checksum mismatch (file corrupt?)");
+      }
+    }
+    return {};
+  }
+
+  std::span<const Edge> result;
+  if (map_ != nullptr) {
+    // Zero-copy view into the mapping.  The records are plain 2x32-bit
+    // little-endian pairs at an 8-aligned offset, matching Edge's layout
+    // exactly (static_asserted in types.hpp / pbin.cpp).
+    result = {reinterpret_cast<const Edge*>(map_ + payload_offset_), n};
+  } else {
+    std::vector<Edge>& out = out_[out_index_];
+    out_index_ ^= 1;
+    out.resize(n);
+    if (std::fread(out.data(), sizeof(Edge), n, file_) != n) {
+      fail("truncated edge payload");
+    }
+    result = out;
+  }
+  payload_offset_ += n * sizeof(Edge);
+  edges_read_ += n;
+
+  if (has_checksum_) {
+    hash_.update(result.data(), result.size_bytes());
+    if (payload_offset_ == payload_end_) {
+      checksum_checked_ = true;
+      if (hash_.digest() != checksum_expect_) {
+        fail("payload checksum mismatch (file corrupt?)");
+      }
+    }
+  }
+  return result;
+}
+
+std::span<const Edge> ChunkedEdgeReader::next() {
+  if (done_) return {};
+  switch (format_) {
+    case FileFormat::kPbin:
+    case FileFormat::kBinLegacy:
+      return next_binary();
+    case FileFormat::kMtx:
+    case FileFormat::kText:
+      return next_lines();
+  }
+  return {};
+}
+
+}  // namespace pimtc::graph

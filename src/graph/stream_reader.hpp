@@ -1,0 +1,169 @@
+// ChunkedEdgeReader — the streaming half of the out-of-core ingest path.
+//
+// Reads any supported edge-file format (text COO, MatrixMarket, legacy
+// ".bin", ".pbin") and yields fixed-size edge chunks without ever
+// materializing the graph: peak reader memory is O(chunk_edges), not O(m).
+// Binary formats are mmap-ed when the platform allows it (POSIX, with a
+// silent buffered-read fallback), in which case next() returns zero-copy
+// views straight into the mapping; text formats parse block-at-a-time from
+// the mapping or from a reused read buffer — no per-line allocation.
+//
+// Chunk-view lifetime: the span returned by next() stays valid until the
+// *second* following next() call.  Internally the non-mapped paths
+// alternate between two chunk buffers, which is exactly the depth the
+// double-buffered ingest pipeline (engine::ingest_file) needs: the consumer
+// processes chunk k while a producer task parses chunk k+1.
+//
+// Errors name the file and, for line-oriented formats, the 1-based line:
+//   "pimtc::graph IO error on 'web.txt': line 17482: malformed line ..."
+// `.pbin` payload checksums are verified incrementally; a mismatch throws
+// when the final chunk is consumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "graph/coo.hpp"
+
+namespace pimtc::graph {
+
+/// The supported on-disk edge formats, dispatched by extension.
+enum class FileFormat {
+  kText,       ///< "u v" per line (.txt/.text/.el/.edges/.coo/.graph)
+  kMtx,        ///< MatrixMarket coordinate (.mtx)
+  kBinLegacy,  ///< "PIMTCCO1" + u64 count + raw edges (.bin)
+  kPbin,       ///< versioned header + checksum (.pbin, see pbin.hpp)
+};
+
+[[nodiscard]] const char* to_string(FileFormat format) noexcept;
+
+/// Extension dispatch shared by read_coo, the chunked reader and the CLI
+/// converter.  Throws std::runtime_error naming the supported formats for
+/// an unknown (or missing) extension — a typo'd path fails loudly instead
+/// of being parsed as text.
+[[nodiscard]] FileFormat file_format_of(const std::filesystem::path& path);
+
+struct ReaderOptions {
+  /// Edges per chunk (also the reader's working-set bound: two chunk
+  /// buffers on the non-mmap paths).  Must be >= 1.
+  std::size_t chunk_edges = std::size_t{1} << 20;
+
+  /// mmap the file (POSIX).  Falls back to buffered reads when mapping is
+  /// unavailable or fails; mapped() reports what actually happened.
+  bool use_mmap = true;
+
+  /// Verify the `.pbin` payload checksum while streaming (ignored for
+  /// formats without one).
+  bool verify_checksum = true;
+};
+
+class ChunkedEdgeReader {
+ public:
+  /// Opens `path`, dispatching the format by extension (file_format_of).
+  explicit ChunkedEdgeReader(const std::filesystem::path& path,
+                             ReaderOptions options = {});
+
+  /// Opens `path` as an explicit format (the read_coo_text/... entry
+  /// points, where the caller has already decided).
+  ChunkedEdgeReader(const std::filesystem::path& path, FileFormat format,
+                    ReaderOptions options = {});
+
+  ~ChunkedEdgeReader();
+
+  ChunkedEdgeReader(const ChunkedEdgeReader&) = delete;
+  ChunkedEdgeReader& operator=(const ChunkedEdgeReader&) = delete;
+
+  /// The next chunk of at most chunk_edges edges, empty exactly at end of
+  /// stream.  The view stays valid until the second following next() call
+  /// (see the lifetime note above).
+  [[nodiscard]] std::span<const Edge> next();
+
+  [[nodiscard]] FileFormat format() const noexcept { return format_; }
+
+  /// True when the file is being served from an mmap (zero-copy chunks for
+  /// the binary formats).
+  [[nodiscard]] bool mapped() const noexcept { return map_ != nullptr; }
+
+  /// Edges handed out so far.
+  [[nodiscard]] EdgeCount edges_read() const noexcept { return edges_read_; }
+
+  /// Edge count declared by the header, when the format has one (.pbin,
+  /// .bin, .mtx nnz).  Lets callers reserve() exactly.
+  [[nodiscard]] std::optional<EdgeCount> declared_edges() const noexcept {
+    return declared_edges_;
+  }
+
+  /// Node bound declared by the header (.pbin num_nodes, .mtx max(rows,
+  /// cols)).
+  [[nodiscard]] std::optional<std::uint64_t> declared_nodes() const noexcept {
+    return declared_nodes_;
+  }
+
+ private:
+  void open_input();
+  void parse_binary_header();
+  void parse_mtx_header();
+  [[nodiscard]] std::span<const Edge> next_binary();
+  [[nodiscard]] std::span<const Edge> next_lines();
+
+  /// Buffered text path: tops up the window, carrying a partial trailing
+  /// line.  Returns false when the file is exhausted and the window empty.
+  bool refill_window();
+
+  /// Parses one full line [p, end) from the window (blank/comment lines
+  /// count toward line_ but emit nothing).
+  void consume_line(const char* p, const char* end, std::vector<Edge>& out);
+
+  /// Reads one header line (mtx banner/size) through the window machinery.
+  [[nodiscard]] std::string take_header_line();
+
+  [[noreturn]] void fail(const std::string& what) const;
+  [[noreturn]] void fail_line(const std::string& what) const;
+
+  std::filesystem::path path_;
+  FileFormat format_;
+  ReaderOptions options_;
+
+  // Input: exactly one of map_ (with its fd) or file_ is active.
+  int fd_ = -1;
+  const unsigned char* map_ = nullptr;
+  std::size_t file_bytes_ = 0;
+
+  std::FILE* file_ = nullptr;
+
+  // Binary cursor (over the mapping or the file).
+  std::size_t payload_offset_ = 0;  ///< next unread byte
+  std::size_t payload_end_ = 0;
+  Xxh64 hash_;
+  bool has_checksum_ = false;
+  std::uint64_t checksum_expect_ = 0;
+  bool checksum_checked_ = false;
+
+  // Text window: the mapping itself, or buf_ refilled with carry.
+  std::vector<char> buf_;
+  const char* win_ = nullptr;
+  const char* win_end_ = nullptr;
+  bool input_exhausted_ = false;
+  std::uint64_t line_ = 0;  ///< 1-based, the line being parsed
+  std::uint64_t mtx_rows_ = 0;
+  std::uint64_t mtx_cols_ = 0;
+  EdgeCount mtx_remaining_ = 0;
+
+  // Alternating output buffers (non-zero-copy paths).
+  std::vector<Edge> out_[2];
+  int out_index_ = 0;
+
+  std::optional<EdgeCount> declared_edges_;
+  std::optional<std::uint64_t> declared_nodes_;
+  EdgeCount edges_read_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace pimtc::graph

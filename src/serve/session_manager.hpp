@@ -23,6 +23,8 @@
 // from the manager's own drain workers.  See DESIGN.md "Serving layer".
 #pragma once
 
+#include <cstddef>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -61,6 +63,17 @@ class SessionManager {
   /// std::invalid_argument for an unknown session.
   SubmitResult submit(std::string_view session,
                       std::span<const EdgeUpdate> batch);
+
+  /// Streams a graph file into `session` as insert batches of
+  /// `chunk_edges` updates each — the out-of-core bulk-load path (peak
+  /// memory O(chunk), any format read_coo accepts).  Admission follows
+  /// the session's policy per batch; the first non-accepted SubmitResult
+  /// aborts the ingest and is returned, with `updates` counting what was
+  /// accepted before it.
+  FileIngestResult ingest_file(std::string_view session,
+                               const std::filesystem::path& path,
+                               std::size_t chunk_edges = std::size_t{1} << 20,
+                               bool use_mmap = true);
 
   /// Snapshot-consistent, non-blocking read of `session` (last published
   /// recount epoch + stats).  Never waits on ingestion.

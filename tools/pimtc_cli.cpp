@@ -1,14 +1,25 @@
 // pimtc — command-line front end for the library.
 //
 //   pimtc generate --kind=rmat --edges=100000 --out=g.txt [--seed=42]
+//   pimtc convert  --in=g.txt --out=g.pbin [--dedup] [--orient] [--drop-loops]
 //   pimtc stats    --graph=g.txt
 //   pimtc count    --graph=g.txt [--backend=pim|cpu|cpu-fast|cpu-incremental]
 //                  [--colors=8] [--p=1.0] [--capacity=0] [--misra-gries]
 //                  [--mg-top=32] [--incremental] [--json] [--exact-check]
 //                  [--stream=updates.txt] [--delete-frac=0.2]
+//                  [--chunk-edges=N] [--no-mmap]
 //   pimtc serve    [--sessions=8] [--session-edges=20000] [--policy=block]
 //                  [--batch-updates=512] [--delete-frac=0.2] [--json] ...
 //   pimtc backends
+//
+// `convert` streams any supported format into any other in O(chunk)
+// memory (text / .mtx / legacy .bin / .pbin, both directions); --dedup
+// drops duplicate undirected edges, --orient rewrites each edge
+// lower-(degree, id) endpoint first (the DODG orientation, precomputed
+// once at rest instead of at every load).  `count --chunk-edges=N`
+// switches the graph phase to the same out-of-core path: the file is
+// chunk-streamed into the engine session via add_edges() instead of being
+// materialized, so peak memory follows the chunk size, not the file.
 //
 // `count` runs the chosen backend through the engine registry and prints
 // the unified report (estimate, phase breakdown, load profile) as text or,
@@ -44,7 +55,9 @@
 
 #include "coloring/partition_plan.hpp"
 #include "common/prng.hpp"
+#include "engine/ingest.hpp"
 #include "engine/registry.hpp"
+#include "graph/stream_reader.hpp"
 #include "tc/intersect.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -65,8 +78,12 @@ using namespace pimtc;
       "usage:\n"
       "  pimtc generate --kind=<rmat|er|ba|ba-hubs|community|road|paper:NAME>\n"
       "                 --edges=<n> --out=<file> [--seed=<s>]\n"
+      "  pimtc convert  --in=<file> --out=<file> [--chunk-edges=<n>]\n"
+      "                 [--no-mmap] [--dedup] [--drop-loops] [--orient]\n"
+      "                 [--no-checksum] [--no-verify]\n"
       "  pimtc stats    --graph=<file>\n"
       "  pimtc count    [--graph=<file>] [--stream=<file>] [--delete-frac=<f>]\n"
+      "                 [--chunk-edges=<n>] [--no-mmap] [--no-dedup]\n"
       "                 [--backend=<name>] [--colors=<C>|auto]\n"
       "                 [--placement=identity|kind_interleave|greedy_balance]\n"
       "                 [--rebalance] [--p=<keep prob>]\n"
@@ -84,14 +101,21 @@ using namespace pimtc;
       "                 [--budget=<updates>] [--workers=<n>]\n"
       "                 [--recount-every=<batches>] [--queriers=<n>]\n"
       "                 [--session-threads=<n>] [--no-parity] [--json]\n"
+      "                 [--graph=<file>] [--chunk-edges=<n>] [--no-mmap]\n"
       "                 plus any engine flag accepted by count\n"
       "  pimtc backends\n"
-      "graphs load by extension: .bin (pimtc binary), .mtx (MatrixMarket),\n"
-      "anything else as 'u v' text\n"
+      "graphs load by extension: .pbin (pimtc binary v1), .bin (legacy\n"
+      "binary), .mtx (MatrixMarket), .txt/.text/.el/.edges/.coo/.graph/.tsv\n"
+      "('u v' text); other extensions are rejected\n"
       "count needs --graph and/or --stream; --stream replays a fully-dynamic\n"
       "update file ('+u v' inserts, '-u v' deletes, bare 'u v' inserts)\n"
       "after the graph; --delete-frac=<f> then deletes a seeded random\n"
-      "fraction f of the graph's edges (synthetic churn)\n");
+      "fraction f of the graph's edges (synthetic churn)\n"
+      "count --chunk-edges=<n> streams the graph out-of-core in n-edge\n"
+      "chunks (O(chunk) memory; dedups while streaming unless --no-dedup;\n"
+      "not combinable with --delete-frac); --no-mmap forces buffered reads\n"
+      "serve --graph=<file> bulk-loads the file into every session through\n"
+      "the same chunked path instead of generating per-session graphs\n");
   std::exit(2);
 }
 
@@ -254,13 +278,91 @@ int cmd_generate(const Args& args) {
 
   const graph::EdgeList g =
       generate_graph(kind, edges, seed, args.f64("scale", 0.5));
-  if (out.ends_with(".bin")) {
-    graph::write_coo_binary(g, out);
-  } else {
-    graph::write_coo_text(g, out);
-  }
+  // Extension-dispatched sink: text, .mtx, .bin or .pbin all work.
+  graph::WriterOptions wopt;
+  wopt.declared_edges = g.num_edges();
+  wopt.declared_nodes = g.num_nodes();
+  const auto writer = graph::make_edge_writer(out, wopt);
+  writer->append(g.edges());
+  writer->finish();
   std::printf("wrote %zu edges / %u nodes to %s\n", g.num_edges(),
               g.num_nodes(), out.c_str());
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  const std::string in = args.str("in");
+  const std::string out = args.str("out");
+  if (in.empty() || out.empty()) usage();
+
+  engine::IngestOptions iopt;
+  iopt.reader.chunk_edges = args.u64("chunk-edges", std::size_t{1} << 20);
+  iopt.reader.use_mmap = !args.flag("no-mmap");
+  iopt.reader.verify_checksum = !args.flag("no-verify");
+  const bool orient = args.flag("orient");
+  // Orientation only makes sense loop-free (a loop has no lower endpoint);
+  // dedup treats loops as junk too.
+  iopt.drop_self_loops =
+      args.flag("drop-loops") || args.flag("dedup") || orient;
+  iopt.dedup = args.flag("dedup") ? engine::DedupMode::kGlobal
+                                  : engine::DedupMode::kNone;
+
+  // --orient pass 1: one streaming pass for the global degree table.
+  std::vector<std::uint32_t> degrees;
+  if (orient) degrees = engine::stream_degrees(in, iopt.reader);
+
+  graph::ChunkedEdgeReader reader(in, iopt.reader);
+  graph::WriterOptions wopt;
+  wopt.with_checksum = !args.flag("no-checksum");
+  const bool transforms =
+      iopt.drop_self_loops || iopt.dedup != engine::DedupMode::kNone;
+  if (!transforms) {
+    // Counts survive the copy unchanged, so headers can be emitted in
+    // final form (this is the byte-stable text -> pbin -> text path).
+    wopt.declared_edges = reader.declared_edges();
+    wopt.declared_nodes = reader.declared_nodes();
+  }
+  const auto writer = graph::make_edge_writer(out, wopt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<Edge> oriented;  // reused per-chunk transform buffer
+  const engine::IngestStats s = engine::ingest_stream(
+      reader,
+      [&](std::span<const Edge> chunk) {
+        if (!orient) {
+          writer->append(chunk);
+          return;
+        }
+        oriented.clear();
+        oriented.reserve(chunk.size());
+        for (const Edge& e : chunk) {
+          // DODG orientation: lower (degree, id) endpoint first.
+          const bool swap = degrees[e.v] < degrees[e.u] ||
+                            (degrees[e.v] == degrees[e.u] && e.v < e.u);
+          oriented.push_back(swap ? Edge{e.v, e.u} : e);
+        }
+        writer->append(oriented);
+      },
+      iopt);
+  writer->finish();
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  std::printf(
+      "converted %s (%s%s) -> %s: %llu edges in, %llu out "
+      "(%llu loops, %llu dups dropped)%s, %llu nodes, %.3f s (%.2f Medges/s)\n",
+      in.c_str(), graph::to_string(reader.format()),
+      s.mapped ? ", mmap" : "", out.c_str(),
+      static_cast<unsigned long long>(s.edges_read),
+      static_cast<unsigned long long>(s.edges_ingested),
+      static_cast<unsigned long long>(s.self_loops_dropped),
+      static_cast<unsigned long long>(s.duplicates_dropped),
+      orient ? ", oriented" : "",
+      static_cast<unsigned long long>(writer->node_bound()), wall_s,
+      wall_s > 0.0
+          ? static_cast<double>(s.edges_read) / wall_s / 1e6
+          : 0.0);
   return 0;
 }
 
@@ -344,10 +446,14 @@ struct ParityCheck {
   }
 };
 
-void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
+/// Report printers take the session's edge/node meta directly (streamed
+/// ingest has no in-memory EdgeList to hand them) plus the ingest pipeline
+/// stats when the out-of-core path ran.
+void print_report_json(const engine::CountReport& r, std::uint64_t edges,
+                       std::uint64_t nodes, const engine::IngestStats* ingest,
                        const ParityCheck& parity) {
   std::printf(
-      "{\"backend\":\"%s\",\"edges\":%zu,\"nodes\":%u,"
+      "{\"backend\":\"%s\",\"edges\":%llu,\"nodes\":%llu,"
       "\"estimate\":%.17g,\"rounded\":%llu,\"exact\":%s,"
       "\"raw_total\":%llu,"
       "\"times\":{\"setup_s\":%.9g,\"ingest_s\":%.9g,\"count_s\":%.9g,"
@@ -357,7 +463,8 @@ void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
       "\"stream\":{\"streamed\":%llu,\"kept\":%llu,\"replicated\":%llu,"
       "\"used_incremental\":%s},"
       "\"work\":{\"conversion_ops\":%llu,\"intersection_steps\":%llu}",
-      r.backend.c_str(), g.num_edges(), g.num_nodes(), r.estimate,
+      r.backend.c_str(), static_cast<unsigned long long>(edges),
+      static_cast<unsigned long long>(nodes), r.estimate,
       static_cast<unsigned long long>(r.rounded()), r.exact ? "true" : "false",
       static_cast<unsigned long long>(r.raw_total), r.times.setup_s,
       r.times.ingest_s, r.times.count_s, r.times.host_s,
@@ -372,6 +479,21 @@ void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
       static_cast<unsigned long long>(r.work.conversion_ops),
       static_cast<unsigned long long>(r.work.intersection_steps));
   std::printf(",\"host_threads\":%u", r.host_threads);
+  if (ingest != nullptr) {
+    std::printf(
+        ",\"ingest\":{\"chunks\":%llu,\"mapped\":%s,"
+        "\"edges_read\":%llu,\"edges_ingested\":%llu,"
+        "\"self_loops_dropped\":%llu,\"duplicates_dropped\":%llu,"
+        "\"read_s\":%.9g,\"preprocess_s\":%.9g,\"feed_s\":%.9g}",
+        static_cast<unsigned long long>(ingest->chunks),
+        ingest->mapped ? "true" : "false",
+        static_cast<unsigned long long>(ingest->edges_read),
+        static_cast<unsigned long long>(ingest->edges_ingested),
+        static_cast<unsigned long long>(ingest->self_loops_dropped),
+        static_cast<unsigned long long>(ingest->duplicates_dropped),
+        ingest->read_seconds, ingest->preprocess_seconds,
+        ingest->feed_seconds);
+  }
   if (r.edges_deleted > 0 || r.delete_misses > 0) {
     // Fully-dynamic stream diagnostics: deletions applied, resident-sample
     // evictions, detected no-op deletes, deletion-forced full passes.
@@ -454,9 +576,25 @@ void print_report_json(const engine::CountReport& r, const graph::EdgeList& g,
   std::printf("}\n");
 }
 
-void print_report_text(const engine::CountReport& r, const graph::EdgeList& g) {
-  std::printf("graph:      %zu edges / %u nodes\n", g.num_edges(),
-              g.num_nodes());
+void print_report_text(const engine::CountReport& r, std::uint64_t edges,
+                       std::uint64_t nodes,
+                       const engine::IngestStats* ingest) {
+  std::printf("graph:      %llu edges / %llu nodes\n",
+              static_cast<unsigned long long>(edges),
+              static_cast<unsigned long long>(nodes));
+  if (ingest != nullptr) {
+    std::printf("ingest:     %llu chunks%s | %llu read, %llu fed "
+                "(%llu loops, %llu dups dropped) | read %.2f ms, "
+                "preprocess %.2f ms, feed %.2f ms\n",
+                static_cast<unsigned long long>(ingest->chunks),
+                ingest->mapped ? " (mmap)" : "",
+                static_cast<unsigned long long>(ingest->edges_read),
+                static_cast<unsigned long long>(ingest->edges_ingested),
+                static_cast<unsigned long long>(ingest->self_loops_dropped),
+                static_cast<unsigned long long>(ingest->duplicates_dropped),
+                ingest->read_seconds * 1e3, ingest->preprocess_seconds * 1e3,
+                ingest->feed_seconds * 1e3);
+  }
   std::printf("backend:    %s\n", r.backend.c_str());
   std::printf("estimate:   %.0f (%s)\n", r.estimate,
               r.exact ? "exact" : "approximate");
@@ -552,8 +690,30 @@ int cmd_count(const Args& args) {
         "needs --graph");
   }
 
+  // --chunk-edges switches the graph phase to out-of-core streaming: the
+  // file is chunk-fed into the engine session (O(chunk) memory, no
+  // EdgeList).  Streaming dedups and drops loops while feeding (like
+  // graph::preprocess minus the shuffle, which needs the whole list)
+  // unless --no-dedup asks for the raw stream.
+  const bool streamed_ingest = args.flag("chunk-edges");
+  if (streamed_ingest && path.empty()) {
+    throw std::invalid_argument("--chunk-edges streams --graph and needs it");
+  }
+  if (streamed_ingest && delete_frac > 0.0) {
+    throw std::invalid_argument(
+        "--delete-frac samples the in-memory graph and cannot combine with "
+        "--chunk-edges streaming; churn the file with a --stream instead");
+  }
+  engine::IngestOptions iopt;
+  iopt.reader.chunk_edges = args.u64("chunk-edges", std::size_t{1} << 20);
+  iopt.reader.use_mmap = !args.flag("no-mmap");
+  if (streamed_ingest && !args.flag("no-dedup")) {
+    iopt.drop_self_loops = true;
+    iopt.dedup = engine::DedupMode::kGlobal;
+  }
+
   graph::EdgeList g;
-  if (!path.empty()) {
+  if (!path.empty() && !streamed_ingest) {
     g = graph::read_coo(path);
     graph::preprocess(g, seed);
   }
@@ -573,10 +733,18 @@ int cmd_count(const Args& args) {
   const engine::EngineConfig cfg = config_from_args(args);
 
   // One session replay, shared with the parity run so both backends see
-  // the identical phase sequence.
+  // the identical phase sequence (streamed runs re-stream the file with
+  // the same chunking, so arrival order matches batch for batch).
+  engine::IngestStats ingest_stats;
   const auto run_session = [&](const std::string& name) {
     auto eng = engine::make_engine(name, cfg);
-    if (!path.empty()) eng->add_edges(g.edges());
+    if (!path.empty()) {
+      if (streamed_ingest) {
+        ingest_stats = engine::ingest_file(*eng, path, iopt);
+      } else {
+        eng->add_edges(g.edges());
+      }
+    }
     if (!stream.empty()) eng->apply(stream);
     if (!churn.empty()) eng->apply(churn);
     return eng->recount();
@@ -601,10 +769,16 @@ int cmd_count(const Args& args) {
     parity.relative_err = relative_error(r.estimate, parity.report.estimate);
   }
 
+  const std::uint64_t meta_edges =
+      streamed_ingest ? ingest_stats.edges_ingested : g.num_edges();
+  const std::uint64_t meta_nodes =
+      streamed_ingest ? ingest_stats.node_bound : g.num_nodes();
+  const engine::IngestStats* ingest_ptr =
+      streamed_ingest ? &ingest_stats : nullptr;
   if (args.flag("json")) {
-    print_report_json(r, g, parity);
+    print_report_json(r, meta_edges, meta_nodes, ingest_ptr, parity);
   } else {
-    print_report_text(r, g);
+    print_report_text(r, meta_edges, meta_nodes, ingest_ptr);
     if (parity.ran) {
       std::printf("parity:     %s says %llu (relative error %.4f%%)\n",
                   parity.backend.c_str(),
@@ -655,10 +829,23 @@ int cmd_serve(const Args& args) {
   if (batch_updates == 0) {
     throw std::invalid_argument("--batch-updates must be >= 1");
   }
-  const double delete_frac = args.f64("delete-frac", 0.2);
+  // --graph bulk-loads one file into every session through the chunked
+  // ingest path instead of generating per-session graphs; churn needs the
+  // generated in-memory edges, so the two are mutually exclusive.
+  const std::string graph_path = args.str("graph");
+  const double delete_frac =
+      args.f64("delete-frac", graph_path.empty() ? 0.2 : 0.0);
   if (delete_frac > 1.0) {
     throw std::invalid_argument("--delete-frac must be in [0, 1]");
   }
+  if (!graph_path.empty() && delete_frac > 0.0) {
+    throw std::invalid_argument(
+        "--graph streams a file into every session and cannot combine with "
+        "--delete-frac churn (which samples generated graphs)");
+  }
+  const std::size_t ingest_chunk =
+      args.u64("chunk-edges", std::size_t{1} << 20);
+  const bool ingest_mmap = !args.flag("no-mmap");
   const std::string kind = args.str("kind", "community");
   const std::string backend = args.str("backend", "pim");
   const std::uint64_t seed = args.u64("seed", 42);
@@ -692,6 +879,7 @@ int cmd_serve(const Args& args) {
   for (std::uint32_t i = 0; i < num_sessions; ++i) {
     Tenant& t = tenants[i];
     t.name = "s" + std::to_string(i);
+    if (!graph_path.empty()) continue;  // workload is the streamed file
     const std::uint64_t tseed = derive_seed(seed, 0x5e55'0000ull + i);
     graph::EdgeList g =
         generate_graph(kind, session_edges, tseed, args.f64("scale", 0.5));
@@ -731,6 +919,33 @@ int cmd_serve(const Args& args) {
   }
 
   const auto wall_start = std::chrono::steady_clock::now();
+  // File bulk-load phase: every session swallows the file chunk-at-a-time
+  // (concurrent with the querier load).  The soft queue bound guarantees
+  // each chunk batch is eventually admitted under kBlock; anything other
+  // than full acceptance is a configuration error worth failing loudly.
+  std::uint64_t file_updates_per_session = 0;
+  if (!graph_path.empty()) {
+    std::vector<std::thread> loaders;
+    std::vector<serve::FileIngestResult> results(tenants.size());
+    loaders.reserve(tenants.size());
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      loaders.emplace_back([&mgr, &tenants, &results, &graph_path,
+                            ingest_chunk, ingest_mmap, i] {
+        results[i] = mgr.ingest_file(tenants[i].name, graph_path,
+                                     ingest_chunk, ingest_mmap);
+      });
+    }
+    for (std::thread& th : loaders) th.join();
+    for (std::size_t i = 0; i < tenants.size(); ++i) {
+      if (results[i].result != serve::SubmitResult::kAccepted) {
+        throw std::runtime_error(
+            std::string("serve ingest into ") + tenants[i].name +
+            " not fully accepted (" + serve::to_string(results[i].result) +
+            "); raise --queue-cap/--budget or use --policy=block");
+      }
+      file_updates_per_session = results[i].updates;
+    }
+  }
   std::vector<std::thread> submitters;
   submitters.reserve(tenants.size());
   for (Tenant& t : tenants) {
@@ -768,6 +983,14 @@ int cmd_serve(const Args& args) {
     const engine::EngineConfig resolved = mgr.resolve_engine_config(ecfg);
     for (Tenant& t : tenants) {
       auto oracle = engine::make_engine(backend, resolved);
+      if (!graph_path.empty()) {
+        // The session saw the raw file in ingest_chunk-edge insert batches;
+        // re-streaming with the same chunking reproduces that batch-for-batch.
+        engine::IngestOptions oracle_iopt;
+        oracle_iopt.reader.chunk_edges = ingest_chunk;
+        oracle_iopt.reader.use_mmap = ingest_mmap;
+        engine::ingest_file(*oracle, graph_path, oracle_iopt);
+      }
       const std::span<const EdgeUpdate> all(t.updates);
       std::size_t batch_idx = 0;
       for (std::size_t off = 0; off < all.size();
@@ -787,7 +1010,7 @@ int cmd_serve(const Args& args) {
   std::uint64_t total_rejected = 0;
   std::vector<double> all_latencies;
   for (const Tenant& t : tenants) {
-    total_updates += t.updates.size();
+    total_updates += t.updates.size() + file_updates_per_session;
     total_accepted += t.final_result.stats.updates_accepted;
     total_rejected += t.final_result.stats.updates_rejected;
     all_latencies.insert(all_latencies.end(), t.latency_s.begin(),
@@ -827,7 +1050,8 @@ int cmd_serve(const Args& args) {
           "\"epoch\":%llu,\"estimate\":%.17g,\"rounded\":%llu,\"exact\":%s,"
           "\"latency_ms\":{\"samples\":%zu,\"p50\":%.6g,\"p99\":%.6g,"
           "\"max\":%.6g}",
-          i ? "," : "", t.name.c_str(), t.updates.size(),
+          i ? "," : "", t.name.c_str(),
+          t.updates.size() + file_updates_per_session,
           static_cast<unsigned long long>(
               t.final_result.stats.batches_accepted),
           static_cast<unsigned long long>(
@@ -853,7 +1077,8 @@ int cmd_serve(const Args& args) {
       const LatencySummary lat = summarize_latency(t.latency_s);
       std::printf("  %-4s %zu updates | epoch %llu | count %llu%s | "
                   "p50 %.2f ms p99 %.2f ms",
-                  t.name.c_str(), t.updates.size(),
+                  t.name.c_str(),
+                  t.updates.size() + file_updates_per_session,
                   static_cast<unsigned long long>(t.final_result.epoch),
                   static_cast<unsigned long long>(
                       t.final_result.report.rounded()),
@@ -899,6 +1124,7 @@ int main(int argc, char** argv) {
   const Args args(argc, argv, 2);
   try {
     if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "convert") return cmd_convert(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "count") return cmd_count(args);
     if (cmd == "serve") return cmd_serve(args);
