@@ -79,9 +79,16 @@ PartitionPlan::PartitionPlan(std::uint32_t num_colors, PlacementPolicy policy,
   set_placement(balanced_placement(weights));
 }
 
+void PartitionPlan::add_spare_banks(std::uint32_t n) {
+  spare_banks_ += n;
+  triplet_of_.resize(num_dpus(), kNoTriplet);
+}
+
 std::vector<std::uint32_t> PartitionPlan::balanced_placement(
     std::span<const std::uint64_t> per_triplet_load) const {
-  const std::uint32_t n = num_dpus();
+  // LPT only ever targets the first num_triplets() banks; spares are
+  // reserved for fault migrations and never receive planned load.
+  const std::uint32_t n = num_triplets();
   if (per_triplet_load.size() != n) {
     throw std::invalid_argument(
         "PartitionPlan: balanced_placement needs one load per triplet");
@@ -102,17 +109,19 @@ std::vector<std::uint32_t> PartitionPlan::balanced_placement(
 
 bool PartitionPlan::set_placement(
     std::span<const std::uint32_t> dpu_of_triplet) {
-  const std::uint32_t n = num_dpus();
+  const std::uint32_t n = num_triplets();
+  const std::uint32_t banks = num_dpus();
   if (dpu_of_triplet.size() != n) {
     throw std::invalid_argument(
         "PartitionPlan: placement needs one DPU per triplet");
   }
-  std::vector<std::uint32_t> inverse(n, n);
+  std::vector<std::uint32_t> inverse(banks, kNoTriplet);
   for (std::uint32_t t = 0; t < n; ++t) {
     const std::uint32_t d = dpu_of_triplet[t];
-    if (d >= n || inverse[d] != n) {
+    if (d >= banks || inverse[d] != kNoTriplet) {
       throw std::invalid_argument(
-          "PartitionPlan: placement must be a bijection onto [0, num_dpus)");
+          "PartitionPlan: placement must map triplets one-to-one into "
+          "[0, num_dpus)");
     }
     inverse[d] = t;
   }
@@ -128,17 +137,18 @@ std::uint64_t PartitionPlan::padded_wire_bytes(
     std::span<const std::uint64_t> per_triplet_bytes,
     std::span<const std::uint32_t> dpu_of_triplet,
     std::uint32_t alignment) const noexcept {
-  const std::uint32_t n = num_dpus();
+  const std::uint32_t n = num_triplets();
+  const std::uint32_t banks = num_dpus();
   const std::uint64_t align = alignment == 0 ? 1 : alignment;
   // Per-rank slowest-DPU padding over aligned spans, mirroring
   // PimSystem::charge_bulk.
   std::uint64_t wire = 0;
-  std::vector<std::uint64_t> per_dpu(n, 0);
+  std::vector<std::uint64_t> per_dpu(banks, 0);
   for (std::uint32_t t = 0; t < n && t < per_triplet_bytes.size(); ++t) {
     per_dpu[dpu_of_triplet[t]] = per_triplet_bytes[t];
   }
-  for (std::uint32_t lo = 0; lo < n; lo += dpus_per_rank_) {
-    const std::uint32_t hi = std::min(n, lo + dpus_per_rank_);
+  for (std::uint32_t lo = 0; lo < banks; lo += dpus_per_rank_) {
+    const std::uint32_t hi = std::min(banks, lo + dpus_per_rank_);
     std::uint64_t rank_max = 0;
     for (std::uint32_t d = lo; d < hi; ++d) {
       rank_max = std::max(rank_max, round_up(per_dpu[d], align));

@@ -77,20 +77,38 @@ class PartitionPlan {
   [[nodiscard]] static double load_imbalance(
       std::span<const std::uint64_t> loads) noexcept;
 
+  /// triplet_of() for a spare bank that currently hosts no triplet.
+  static constexpr std::uint32_t kNoTriplet = 0xffffffffu;
+
   [[nodiscard]] const TripletTable& table() const noexcept { return table_; }
   [[nodiscard]] std::uint32_t num_colors() const noexcept {
     return table_.num_colors();
   }
-  [[nodiscard]] std::uint32_t num_dpus() const noexcept {
+  [[nodiscard]] std::uint32_t num_triplets() const noexcept {
     return table_.num_triplets();
   }
+  /// Physical banks the plan spans: one per triplet plus any spares.  This
+  /// is the allocation size for PimSystem — spares idle until a fault
+  /// migration targets them.
+  [[nodiscard]] std::uint32_t num_dpus() const noexcept {
+    return table_.num_triplets() + spare_banks_;
+  }
+  [[nodiscard]] std::uint32_t spare_banks() const noexcept {
+    return spare_banks_;
+  }
+
+  /// Reserves `n` extra banks beyond the triplet count as migration targets
+  /// for fault recovery.  Call before the PimSystem is sized; spares start
+  /// unassigned (triplet_of() == kNoTriplet).
+  void add_spare_banks(std::uint32_t n);
   [[nodiscard]] PlacementPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] std::uint32_t dpus_per_rank() const noexcept {
     return dpus_per_rank_;
   }
 
-  /// Physical DPU executing triplet `t`, and its inverse.  Both are total
-  /// bijections over [0, num_dpus()).
+  /// Physical DPU executing triplet `t` (an injection of [0, num_triplets())
+  /// into [0, num_dpus()); a bijection when there are no spares), and its
+  /// inverse (kNoTriplet for an unassigned spare bank).
   [[nodiscard]] std::uint32_t dpu_of(std::uint32_t triplet) const noexcept {
     return dpu_of_[triplet];
   }
@@ -108,10 +126,10 @@ class PartitionPlan {
   [[nodiscard]] std::vector<std::uint32_t> balanced_placement(
       std::span<const std::uint64_t> per_triplet_load) const;
 
-  /// Installs an explicit triplet->DPU map (validated bijection; throws
-  /// std::invalid_argument otherwise).  Returns false when it equals the
-  /// current placement.  Callers owning device state must migrate it —
-  /// see tc::PimTriangleCounter::rebalance().
+  /// Installs an explicit triplet->DPU map (validated injection into
+  /// [0, num_dpus()); throws std::invalid_argument otherwise).  Returns
+  /// false when it equals the current placement.  Callers owning device
+  /// state must migrate it — see tc::PimTriangleCounter::rebalance().
   bool set_placement(std::span<const std::uint32_t> dpu_of_triplet);
 
   /// Wire bytes the rank-padded transfer engine would move for one scatter
@@ -133,8 +151,9 @@ class PartitionPlan {
   TripletTable table_;
   PlacementPolicy policy_;
   std::uint32_t dpus_per_rank_;
+  std::uint32_t spare_banks_ = 0;
   std::vector<std::uint32_t> dpu_of_;      // triplet -> DPU
-  std::vector<std::uint32_t> triplet_of_;  // DPU -> triplet
+  std::vector<std::uint32_t> triplet_of_;  // DPU -> triplet (or kNoTriplet)
 };
 
 }  // namespace pimtc::color

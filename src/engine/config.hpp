@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "coloring/partition_plan.hpp"
 #include "pim/config.hpp"
@@ -29,6 +30,13 @@ struct EngineConfig {
   /// previous count where the backend supports it (PIM persistent sorted
   /// arcs, incremental CPU adjacency); otherwise recount is from scratch.
   bool incremental = false;
+
+  /// Deterministic fault injection + recovery policy (PIM backend), parsed
+  /// by pim::FaultSpec::parse — e.g. "seed=3,launch-permanent=0.01,
+  /// recovery=rematerialize".  Empty = injection off: every code path
+  /// behaves and charges exactly as without the feature.  CLI:
+  /// --inject-faults=SPEC.
+  std::string fault_spec;
 
   // ---- approximation dials (PIM backend) ----------------------------------
   /// Uniform (DOULION) keep probability p; 1.0 = exact mode.
@@ -125,7 +133,7 @@ struct EngineConfig {
 
   /// Projection onto the legacy PIM pipeline config (internal use by the
   /// PIM engine; kept public so white-box tests can cross-check).
-  [[nodiscard]] tc::TcConfig to_tc_config() const noexcept;
+  [[nodiscard]] tc::TcConfig to_tc_config() const;
 };
 
 }  // namespace pimtc::engine

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/math_util.hpp"
+#include "pim/fault.hpp"
 #include "tc/kernel.hpp"
 #include "tc/layout.hpp"
 
@@ -116,9 +117,12 @@ void EngineConfig::validate() const {
     throw std::invalid_argument(
         "EngineConfig: MRAM bank too small to hold any sample");
   }
+  // Reject malformed fault specs up front, with parse's own diagnostics
+  // (std::invalid_argument naming the offending key).
+  if (!fault_spec.empty()) (void)pim::FaultSpec::parse(fault_spec);
 }
 
-tc::TcConfig EngineConfig::to_tc_config() const noexcept {
+tc::TcConfig EngineConfig::to_tc_config() const {
   tc::TcConfig cfg;
   cfg.num_colors = num_colors;
   cfg.tasklets = tasklets;
@@ -137,6 +141,7 @@ tc::TcConfig EngineConfig::to_tc_config() const noexcept {
   cfg.pipelined_ingest = pipelined_ingest;
   cfg.incremental = incremental;
   cfg.seed = seed;
+  cfg.fault_spec = fault_spec;
   cfg.placement = placement;
   cfg.rebalance_enabled = rebalance_enabled;
   cfg.rebalance_min_gain = rebalance_min_gain;

@@ -57,6 +57,7 @@ CountReport PimEngine::recount() {
   report.kernel.chunks_claimed = r.kernel.chunks_claimed;
   report.kernel.instructions = r.kernel_instructions;
   report.kernel.count_instructions = r.count_instructions;
+  report.faults = r.faults;
 
   if (config_.misra_gries_enabled) {
     const sketch::MisraGries& mg = counter_.heavy_hitters();

@@ -16,6 +16,7 @@
 
 #include "common/types.hpp"
 #include "common/work_profile.hpp"
+#include "pim/fault.hpp"
 #include "pim/transfer_stats.hpp"
 
 namespace pimtc::engine {
@@ -153,6 +154,13 @@ struct CountReport {
 
   /// Adaptive-intersection kernel diagnostics (PIM backend).
   KernelStats kernel;
+
+  /// Fault-injection / recovery ledger (PIM backend; `faults.injected` is
+  /// false when injection is off).  When `faults.degraded` the estimate was
+  /// extrapolated from `faults.coverage` of the observed stream and `exact`
+  /// is forced false; `faults.error_bound` is the widened relative bound.
+  using FaultStats = pim::FaultStats;
+  FaultStats faults;
 
   /// Misra-Gries top-t summary when the backend ran with it enabled.
   std::vector<HeavyHitter> heavy_hitters;

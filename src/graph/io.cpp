@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "graph/io_error.hpp"
 #include "graph/pbin.hpp"
 #include "graph/stream_reader.hpp"
 
@@ -24,8 +25,7 @@ constexpr int kPadWidth = 20;
 
 [[noreturn]] void fail(const std::filesystem::path& path,
                        const std::string& what) {
-  throw std::runtime_error("pimtc::graph IO error on '" + path.string() +
-                           "': " + what);
+  throw IoError(path, what);
 }
 
 [[noreturn]] void fail_line(const std::filesystem::path& path,

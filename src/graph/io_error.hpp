@@ -1,0 +1,39 @@
+// Typed IO failure of the graph layer.
+//
+// Every file-shaped failure (missing file, truncated header, bad magic,
+// checksum mismatch, malformed text line) throws IoError so callers can
+// separate "the input file is bad" from programming errors.  what() keeps
+// the legacy "pimtc::graph IO error on '<path>': <reason>" shape existing
+// tests and logs match on; the CLI additionally uses the structured
+// path()/reason() accessors to print one clean `error: <file>: <reason>`
+// line and exit with the documented IO status (see README "Exit codes").
+#pragma once
+
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pimtc::graph {
+
+class IoError : public std::runtime_error {
+ public:
+  IoError(std::filesystem::path path, std::string reason)
+      : std::runtime_error("pimtc::graph IO error on '" + path.string() +
+                           "': " + reason),
+        path_(std::move(path)),
+        reason_(std::move(reason)) {}
+
+  /// The offending file.
+  [[nodiscard]] const std::filesystem::path& path() const noexcept {
+    return path_;
+  }
+  /// The failure description, without the path prefix.
+  [[nodiscard]] const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::filesystem::path path_;
+  std::string reason_;
+};
+
+}  // namespace pimtc::graph

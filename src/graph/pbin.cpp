@@ -2,9 +2,10 @@
 
 #include <bit>
 #include <cstring>
-#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "graph/io_error.hpp"
 
 namespace pimtc::graph {
 
@@ -17,8 +18,7 @@ namespace {
 
 [[noreturn]] void fail(const std::filesystem::path& path,
                        const std::string& what) {
-  throw std::runtime_error("pimtc::graph IO error on '" + path.string() +
-                           "': " + what);
+  throw IoError(path, what);
 }
 
 /// Serializes `info` into the fixed 40-byte on-disk header.
@@ -46,6 +46,14 @@ PbinInfo decode_header(const unsigned char in[kPbinHeaderBytes],
     fail(path, "unsupported .pbin version " + std::to_string(info.version) +
                    " (this build reads version " +
                    std::to_string(kPbinVersion) + ")");
+  }
+  if ((info.flags & ~kPbinFlagChecksum) != 0) {
+    // A version-1 file must not carry flag bits this build cannot honor:
+    // silently ignoring them risks misreading the payload.
+    char hex[16];
+    std::snprintf(hex, sizeof hex, "%x", info.flags & ~kPbinFlagChecksum);
+    fail(path, "unknown .pbin flag bits 0x" + std::string(hex) +
+                   " (this build understands only the checksum flag)");
   }
   return info;
 }

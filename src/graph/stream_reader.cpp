@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "graph/io_error.hpp"
 #include "graph/pbin.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -115,8 +116,7 @@ ChunkedEdgeReader::~ChunkedEdgeReader() {
 }
 
 void ChunkedEdgeReader::fail(const std::string& what) const {
-  throw std::runtime_error("pimtc::graph IO error on '" + path_.string() +
-                           "': " + what);
+  throw IoError(path_, what);
 }
 
 void ChunkedEdgeReader::fail_line(const std::string& what) const {

@@ -33,6 +33,7 @@
 #include "common/thread_pool.hpp"
 #include "pim/config.hpp"
 #include "pim/dpu.hpp"
+#include "pim/fault.hpp"
 #include "pim/transfer_stats.hpp"
 
 namespace pimtc::pim {
@@ -157,6 +158,39 @@ class PimSystem {
   void launch_on(std::uint32_t count, const std::function<void(Dpu&)>& kernel,
                  double PimPhaseTimes::* phase);
 
+  // ---- fault injection ------------------------------------------------------
+  /// Per-bank outcome of one launch_checked() call.  Faulted banks never ran
+  /// the kernel, so their device state is untouched and a retry replays the
+  /// identical input.
+  struct LaunchReport {
+    std::vector<std::uint32_t> ok;
+    std::vector<std::uint32_t> transient;  ///< launch failed, bank survives
+    std::vector<std::uint32_t> dead;       ///< bank permanently lost
+  };
+
+  /// Arms deterministic fault injection.  Until called (the default), every
+  /// path in this class behaves — and charges — exactly as before.
+  void install_fault_plan(std::shared_ptr<const FaultPlan> plan);
+  [[nodiscard]] const FaultPlan* fault_plan() const noexcept {
+    return fault_plan_.get();
+  }
+  [[nodiscard]] bool dpu_dead(std::uint32_t i) const noexcept {
+    return i < dead_.size() && dead_[i] != 0;
+  }
+  [[nodiscard]] std::uint32_t dead_dpu_count() const noexcept;
+  [[nodiscard]] const FaultCounters& fault_counters() const noexcept {
+    return fault_counters_;
+  }
+
+  /// launch() restricted to an explicit bank list, with fault semantics:
+  /// rank outages and per-bank launch faults are drawn for this launch step,
+  /// the kernel runs only on the surviving banks (charged with the usual
+  /// overhead + absolute-rank boot skew), and everything else is reported.
+  /// Callers own the recovery policy (see tc::PimTriangleCounter).
+  LaunchReport launch_checked(std::span<const std::uint32_t> dpu_ids,
+                              const std::function<void(Dpu&)>& kernel,
+                              double PimPhaseTimes::* phase);
+
   [[nodiscard]] const PimPhaseTimes& times() const noexcept { return times_; }
   /// Zeroes the phase times *and* the transfer diagnostics (both are
   /// "accumulated since the last reset" views of the same run).
@@ -171,12 +205,25 @@ class PimSystem {
  private:
   double charge_bulk(std::span<const std::uint64_t> per_dpu_bytes, bool push,
                      double PimPhaseTimes::* phase);
+  void flip_mram_bit(std::uint32_t dpu, std::uint64_t byte_offset,
+                     std::uint32_t bit);
+  double corrupt_scatter(std::span<const ScatterSpan> spans,
+                         double PimPhaseTimes::* phase);
+  double corrupt_gather(std::span<const GatherSpan> spans,
+                        double PimPhaseTimes::* phase);
 
   PimSystemConfig config_;
   std::vector<std::unique_ptr<Dpu>> dpus_;
   ThreadPool* pool_;
   PimPhaseTimes times_;
   TransferStats stats_;
+
+  std::shared_ptr<const FaultPlan> fault_plan_;
+  std::vector<std::uint8_t> dead_;  ///< per-bank permanent-failure flags
+  FaultCounters fault_counters_;
+  /// Serial operation index feeding the deterministic draws: each bulk
+  /// transfer, repair attempt, and checked launch consumes one step.
+  std::uint64_t fault_step_ = 0;
 };
 
 }  // namespace pimtc::pim

@@ -158,14 +158,32 @@ void Session::publish_snapshot() {
   auto snap = std::make_shared<Snapshot>();
   snap->epoch = epoch;
   snap->through_seq = through;
-  try {
-    snap->report = engine_->recount();
-  } catch (const std::exception& e) {
-    // The previous snapshot stays live; flush waiters are released (the
-    // batches *were* applied) and the failure is surfaced in the stats.
+  // A faulted recount does not take the session down: the previous snapshot
+  // stays live and queryable while the recount is retried per policy.
+  bool counted = false;
+  std::string error;
+  for (std::uint32_t attempt = 0;
+       attempt <= config_.recount_retries && !counted; ++attempt) {
+    try {
+      snap->report = engine_->recount();
+      counted = true;
+    } catch (const std::exception& e) {
+      error = e.what();
+    } catch (...) {
+      // Engines are not obliged to throw std::exception; contain anything.
+      error = "unknown engine failure";
+    }
+    if (!counted && attempt < config_.recount_retries) {
+      std::lock_guard lock(state_mutex_);
+      ++stats_.recounts_retried;
+    }
+  }
+  if (!counted) {
+    // Out of retries.  Flush waiters are released (the batches *were*
+    // applied) and the failure is surfaced in the stats.
     std::lock_guard lock(state_mutex_);
     ++stats_.recounts_failed;
-    stats_.last_error = e.what();
+    stats_.last_error = error;
     published_seq_ = through;
     while (!pending_visibility_.empty() &&
            pending_visibility_.front().first <= through) {
@@ -175,6 +193,7 @@ void Session::publish_snapshot() {
     return;
   }
 
+  const engine::CountReport::FaultStats faults = snap->report.faults;
   {
     std::lock_guard lock(snapshot_mutex_);
     snapshot_ = std::move(snap);
@@ -183,6 +202,11 @@ void Session::publish_snapshot() {
   {
     std::lock_guard lock(state_mutex_);
     stats_.epoch = epoch;
+    stats_.degraded = faults.degraded;
+    stats_.coverage = faults.coverage;
+    stats_.dropped_triplets = faults.dropped_triplets;
+    stats_.rematerializations = faults.rematerializations;
+    stats_.sample_restores = faults.sample_restores;
     published_seq_ = through;
     while (!pending_visibility_.empty() &&
            pending_visibility_.front().first <= through) {

@@ -101,6 +101,11 @@ struct ServeConfig {
   /// serve-bench percentile source); further samples are dropped.
   std::size_t max_latency_samples = 1u << 20;
 
+  /// Extra recount() attempts after a failed snapshot publish before the
+  /// session falls back to its previous snapshot (which stays live and
+  /// queryable throughout).  0 = no retry.
+  std::uint32_t recount_retries = 1;
+
   /// Throws std::invalid_argument on the first violated invariant.
   void validate() const {
     if (queue_capacity_updates == 0) {
@@ -124,10 +129,24 @@ struct SessionStats {
   std::uint64_t updates_rejected = 0;
   std::uint64_t updates_applied = 0;
   std::uint64_t recounts_failed = 0;   ///< engine->recount() threw
+  std::uint64_t recounts_retried = 0;  ///< recount attempts repeated after a
+                                       ///< throw (ServeConfig::recount_retries)
   std::uint64_t epoch = 0;             ///< published snapshot epochs
   std::uint64_t queue_depth_updates = 0;  ///< staged, not yet applied
   std::uint64_t queue_depth_batches = 0;
   std::string last_error;  ///< most recent engine failure message, if any
+
+  // ---- session health (latest published snapshot's fault ledger) ----------
+  bool degraded = false;   ///< estimate extrapolated from partial coverage
+  double coverage = 1.0;   ///< surviving fraction of the observed stream
+  std::uint64_t dropped_triplets = 0;    ///< triplets lost to faults
+  std::uint64_t rematerializations = 0;  ///< dead banks restored from mirror
+  std::uint64_t sample_restores = 0;     ///< bit-rotted samples scrubbed back
+
+  /// True while the session serves estimates and no published snapshot is
+  /// degraded; recount failures alone do not flip it (the previous snapshot
+  /// stays live).
+  [[nodiscard]] bool healthy() const noexcept { return !degraded; }
 };
 
 /// Snapshot-consistent read of one session.  `report` (and the `estimate` /

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "coloring/partition_plan.hpp"
 #include "pim/config.hpp"
@@ -90,6 +91,12 @@ struct TcConfig {
 
   /// Seed for every randomized component (coloring hash, samplers).
   std::uint64_t seed = 42;
+
+  /// Deterministic fault injection + recovery policy, parsed by
+  /// pim::FaultSpec::parse (e.g. "seed=3,launch-permanent=0.01,
+  /// recovery=rematerialize").  Empty = injection off: every path behaves
+  /// and charges exactly as without this feature.
+  std::string fault_spec;
 
   /// Per-DPU staging-buffer capacity, in edges, for batched ingestion.  A
   /// batch that stages more than this for some DPU is flushed in multiple

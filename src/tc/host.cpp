@@ -88,6 +88,26 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
   if (!(config_.rebalance_min_gain >= 1.0)) {  // also rejects NaN
     throw std::invalid_argument("TcConfig: rebalance_min_gain must be >= 1");
   }
+  if (!config_.fault_spec.empty()) {
+    const pim::FaultSpec fspec = pim::FaultSpec::parse(config_.fault_spec);
+    std::uint32_t spares = 0;
+    if (fspec.recovery == pim::FaultSpec::Recovery::kRematerialize &&
+        (fspec.launch_permanent > 0.0 || fspec.rank_outage > 0.0)) {
+      // Spare banks are migration targets for dead-bank re-materialization,
+      // clamped to what the machine has beyond the triplet count.  Only
+      // provisioned when some rate can actually kill a bank: idle spares
+      // widen every per-rank padded transfer, which would break the
+      // inert-plan timing-identity guarantee.
+      const std::uint32_t triplets = plan_.num_triplets();
+      const std::uint64_t headroom =
+          pim_config_.max_dpus > triplets ? pim_config_.max_dpus - triplets
+                                          : 0;
+      spares = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(fspec.spare_banks, headroom));
+    }
+    plan_.add_spare_banks(spares);
+    fault_plan_ = std::make_shared<const pim::FaultPlan>(fspec);
+  }
   const std::uint32_t dpus = plan_.num_dpus();
   if (dpus > pim_config_.max_dpus) {
     throw std::invalid_argument(
@@ -105,32 +125,48 @@ PimTriangleCounter::PimTriangleCounter(const TcConfig& config,
   }
 
   system_ = std::make_unique<pim::PimSystem>(pim_config_, dpus, pool_.get());
-  reservoirs_.reserve(dpus);
-  for (std::uint32_t t = 0; t < dpus; ++t) {
+  if (fault_plan_ != nullptr) {
+    system_->install_fault_plan(fault_plan_);
+    // Always-on mirrors make any bank restorable with zero device reads;
+    // both ingest paths maintain them once valid, so the mirror is exact
+    // at every point of the stream.
+    if (fault_plan_->spec().recovery ==
+        pim::FaultSpec::Recovery::kRematerialize) {
+      mirrors_valid_ = true;
+    }
+  }
+  const std::uint32_t triplets = plan_.num_triplets();
+  reservoirs_.reserve(triplets);
+  for (std::uint32_t t = 0; t < triplets; ++t) {
     // Seeded by triplet index, not bank index: the estimator's RNG stream
     // must not depend on where the plan places a triplet.
     reservoirs_.emplace_back(capacity_, derive_seed(config_.seed, 0xd00 + t));
-    // Initialize the control block so later read-modify-write cycles (which
-    // preserve kernel-owned fields like sorted_size) start from zeros.
+  }
+  for (std::uint32_t b = 0; b < dpus; ++b) {
+    // Initialize every bank's control block (spares included) so later
+    // read-modify-write cycles (which preserve kernel-owned fields like
+    // sorted_size) start from zeros.
     DpuMeta meta;
     meta.sample_capacity = capacity_;
-    system_->dpu(t).mram().write_t(MramLayout::kMetaOffset, meta);
+    system_->dpu(b).mram().write_t(MramLayout::kMetaOffset, meta);
   }
 
   // Persistent ingestion state: sized once, reused by every batch.
+  // Estimator-side state is per triplet; transfer-side scratch is per bank.
   partition_.resize(pool().size());
-  for (auto& per_triplet : partition_) per_triplet.resize(dpus);
+  for (auto& per_triplet : partition_) per_triplet.resize(triplets);
   update_partition_.resize(pool().size());
-  for (auto& per_triplet : update_partition_) per_triplet.resize(dpus);
-  mirrors_.resize(dpus);
-  touched_slots_.resize(dpus);
-  triplet_dirty_.assign(dpus, 0);
-  staging_.resize(dpus);
-  cursors_.resize(dpus);
-  batch_totals_.resize(dpus);
+  for (auto& per_triplet : update_partition_) per_triplet.resize(triplets);
+  mirrors_.resize(triplets);
+  touched_slots_.resize(triplets);
+  triplet_dirty_.assign(triplets, 0);
+  triplet_lost_.assign(triplets, 0);
+  staging_.resize(triplets);
+  cursors_.resize(triplets);
+  batch_totals_.resize(triplets);
   flush_bytes_.resize(dpus);
   cycles_before_.resize(dpus);
-  received_.resize(dpus);
+  received_.resize(triplets);
 }
 
 TcResult PimTriangleCounter::count(const graph::EdgeList& graph) {
@@ -202,12 +238,13 @@ void PimTriangleCounter::drain_in_flight(double host_overlap_s) {
 
 void PimTriangleCounter::insert_into_samples(double host_window_s) {
   const std::uint32_t num_dpus = system_->num_dpus();
+  const std::uint32_t num_triplets = plan_.num_triplets();
   const std::uint32_t recv_tasklets = config_.tasklets;
   const std::uint64_t sample_base = MramLayout::sample_offset();
 
   // How many staging rounds does the slowest triplet need?
   std::uint64_t max_per_triplet = 0;
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     std::uint64_t total = 0;
     for (const auto& per_triplet : partition_) total += per_triplet[t].size();
     batch_totals_[t] = total;
@@ -242,9 +279,11 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
     for (std::uint32_t d = 0; d < num_dpus; ++d) {
       cycles_before_[d] = system_->dpu(d).cycles();
     }
+    // Banks without an occupant (spares) stage nothing this round.
+    std::fill(flush_bytes_.begin(), flush_bytes_.end(), 0);
 
-    pool().parallel_for(num_dpus, [&](std::size_t t) {
-      // The plan is a bijection, so each triplet touches its own bank.
+    pool().parallel_for(num_triplets, [&](std::size_t t) {
+      // The plan is an injection, so each triplet touches its own bank.
       pim::Dpu& dpu = system_->dpu(plan_.dpu_of(static_cast<std::uint32_t>(t)));
       sketch::ReservoirPolicy& reservoir = reservoirs_[t];
       sketch::SampleMirror<Edge>& mirror = mirrors_[t];
@@ -312,7 +351,7 @@ void PimTriangleCounter::insert_into_samples(double host_window_s) {
                        stage_timer.elapsed_s());
   }
 
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     edges_replicated_ += received_[t];
   }
 }
@@ -345,11 +384,11 @@ void PimTriangleCounter::materialize_mirrors() {
   // be read back.
   drain_in_flight(0.0);
 
-  const std::uint32_t num_dpus = system_->num_dpus();
-  std::vector<std::vector<Edge>> resident(num_dpus);
-  std::vector<pim::GatherSpan> gathers(num_dpus);
+  const std::uint32_t num_triplets = plan_.num_triplets();
+  std::vector<std::vector<Edge>> resident(num_triplets);
+  std::vector<pim::GatherSpan> gathers(system_->num_dpus());
   bool any = false;
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     const std::uint64_t n = reservoirs_[t].stored();
     if (n == 0) continue;
     any = true;
@@ -360,7 +399,7 @@ void PimTriangleCounter::materialize_mirrors() {
   if (any) {
     system_->gather(gathers, &pim::PimPhaseTimes::sample_creation_s);
   }
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     mirrors_[t].assign(std::move(resident[t]));
   }
   mirrors_valid_ = true;
@@ -452,11 +491,12 @@ void PimTriangleCounter::apply(std::span<const EdgeUpdate> batch) {
 
 void PimTriangleCounter::apply_updates_to_samples(double host_window_s) {
   const std::uint32_t num_dpus = system_->num_dpus();
+  const std::uint32_t num_triplets = plan_.num_triplets();
   const std::uint32_t recv_tasklets = config_.tasklets;
   const std::uint64_t sample_base = MramLayout::sample_offset();
 
   std::uint64_t max_per_triplet = 0;
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     std::uint64_t total = 0;
     for (const auto& per_triplet : update_partition_) {
       total += per_triplet[t].size();
@@ -482,7 +522,7 @@ void PimTriangleCounter::apply_updates_to_samples(double host_window_s) {
   // order against its policy and mirror, collecting the touched slots.
   // The mirror's final content is the ground truth the flush reads, so
   // intermediate values never need materializing.
-  pool().parallel_for(num_dpus, [&](std::size_t t) {
+  pool().parallel_for(num_triplets, [&](std::size_t t) {
     sketch::ReservoirPolicy& reservoir = reservoirs_[t];
     sketch::SampleMirror<Edge>& mirror = mirrors_[t];
     std::vector<std::uint64_t>& touched = touched_slots_[t];
@@ -527,13 +567,13 @@ void PimTriangleCounter::apply_updates_to_samples(double host_window_s) {
   // runs), in rounds bounded by the same per-DPU staging capacity the
   // insert path honors.
   std::uint64_t max_touched = 0;
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     max_touched = std::max<std::uint64_t>(max_touched,
                                           touched_slots_[t].size());
   }
   if (max_touched == 0) {
     drain_in_flight(host_window_s + stage_timer.elapsed_s());
-    for (std::uint32_t t = 0; t < num_dpus; ++t) {
+    for (std::uint32_t t = 0; t < num_triplets; ++t) {
       edges_replicated_ += received_[t];
     }
     return;
@@ -548,8 +588,10 @@ void PimTriangleCounter::apply_updates_to_samples(double host_window_s) {
     for (std::uint32_t d = 0; d < num_dpus; ++d) {
       cycles_before_[d] = system_->dpu(d).cycles();
     }
+    // Banks without an occupant (spares) stage nothing this round.
+    std::fill(flush_bytes_.begin(), flush_bytes_.end(), 0);
 
-    pool().parallel_for(num_dpus, [&](std::size_t t) {
+    pool().parallel_for(num_triplets, [&](std::size_t t) {
       pim::Dpu& dpu =
           system_->dpu(plan_.dpu_of(static_cast<std::uint32_t>(t)));
       const sketch::SampleMirror<Edge>& mirror = mirrors_[t];
@@ -594,7 +636,7 @@ void PimTriangleCounter::apply_updates_to_samples(double host_window_s) {
         round_timer.elapsed_s());
   }
 
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     edges_replicated_ += received_[t];
   }
 }
@@ -620,13 +662,19 @@ bool PimTriangleCounter::migrate_to(
 bool PimTriangleCounter::apply_placement(
     std::span<const std::uint32_t> dpu_of_triplet) {
   const std::uint32_t num_dpus = plan_.num_dpus();
-  if (dpu_of_triplet.size() != num_dpus) {
+  const std::uint32_t num_triplets = plan_.num_triplets();
+  if (dpu_of_triplet.size() != num_triplets) {
     throw std::invalid_argument(
         "PimTriangleCounter: placement needs one DPU per triplet");
   }
   const std::vector<std::uint32_t> old = plan_.placement();
   if (std::equal(old.begin(), old.end(), dpu_of_triplet.begin())) {
     return false;  // no-op re-plan: no sync point, no migration
+  }
+  if (fault_plan_ != nullptr && system_->dead_dpu_count() > 0) {
+    throw std::logic_error(
+        "PimTriangleCounter: placement migration after bank failures is "
+        "unsupported (recovery owns the placement)");
   }
   // A placement change is a sync point: the previous flush must have landed
   // before its sample can move banks.
@@ -637,11 +685,11 @@ bool PimTriangleCounter::apply_placement(
   // sample to the host in one rank-parallel gather, push them to their new
   // banks in one scatter.  Both are modeled (and charged to the ingest
   // phase) exactly like any other bulk transfer.
-  std::vector<std::vector<Edge>> moved(num_dpus);
+  std::vector<std::vector<Edge>> moved(num_triplets);
   std::vector<pim::GatherSpan> gathers(num_dpus);
   std::vector<pim::ScatterSpan> scatters(num_dpus);
   bool any_resident = false;
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     if (old[t] == plan_.dpu_of(t)) continue;
     const std::uint64_t bytes = reservoirs_[t].stored() * sizeof(Edge);
     if (bytes == 0) continue;
@@ -658,7 +706,7 @@ bool PimTriangleCounter::apply_placement(
 
   // Every bank whose occupant changed gets a fresh control block: the
   // kernel-owned sorted state it holds belongs to the previous occupant.
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     if (old[t] == plan_.dpu_of(t)) continue;
     DpuMeta meta;
     meta.sample_size = reservoirs_[t].stored();
@@ -679,6 +727,12 @@ TcResult PimTriangleCounter::recount() {
   drain_in_flight(0.0);
 
   const std::uint32_t num_dpus = system_->num_dpus();
+  const std::uint32_t num_triplets = plan_.num_triplets();
+
+  // Deterministic MRAM bit-rot: one scrub epoch per recount.  With
+  // checksums on, a flipped sample is detected and re-materialized from
+  // the host mirror (or the triplet is lost when no mirror exists).
+  if (fault_plan_ != nullptr) inject_and_scrub_bitflips();
 
   // Automatic rebalancing: re-plan from observed loads and migrate when the
   // projected rank-padded scatter wire shrinks by at least the configured
@@ -689,7 +743,8 @@ TcResult PimTriangleCounter::recount() {
   // trade visible, and once balanced, later recounts no-op so it is paid
   // at most once per load shift.  Raise rebalance_min_gain for streams
   // where migrations are not worth small padding wins.
-  if (config_.rebalance_enabled) {
+  if (config_.rebalance_enabled &&
+      !(fault_plan_ != nullptr && system_->dead_dpu_count() > 0)) {
     const std::vector<std::uint64_t> loads = per_dpu_edges_seen();
     std::vector<std::uint64_t> bytes(loads.size());
     for (std::size_t t = 0; t < loads.size(); ++t) {
@@ -741,7 +796,8 @@ TcResult PimTriangleCounter::recount() {
   // its bank.  A dirty triplet (its sample lost an edge since the last
   // count) gets its persistent sorted arcs invalidated here — only its
   // core pays the full rebuild, the rest keep their S*.
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
+    if (triplet_lost_[t]) continue;  // nothing resident to count
     pim::Dpu& dpu = system_->dpu(plan_.dpu_of(t));
     DpuMeta meta = dpu.mram().read_t<DpuMeta>(MramLayout::kMetaOffset);
     meta.sample_size = reservoirs_[t].stored();
@@ -767,9 +823,14 @@ TcResult PimTriangleCounter::recount() {
     }
   }
 
-  // Control-block + remap broadcast push (uniform spans: no padding).
-  const std::vector<std::uint64_t> meta_bytes(
-      num_dpus, sizeof(DpuMeta) + remap.size() * sizeof(NodeId));
+  // Control-block + remap broadcast push (uniform spans on occupied,
+  // surviving banks: no padding when the placement is bank-dense).
+  std::vector<std::uint64_t> meta_bytes(num_dpus, 0);
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
+    if (triplet_lost_[t]) continue;
+    meta_bytes[plan_.dpu_of(t)] =
+        sizeof(DpuMeta) + remap.size() * sizeof(NodeId);
+  }
   system_->charge_scatter(meta_bytes, &pim::PimPhaseTimes::count_s);
 
   // Launch the counting kernel on every core.
@@ -791,22 +852,25 @@ TcResult PimTriangleCounter::recount() {
   std::uint32_t dirty_full = 0;
   std::vector<std::uint8_t> full_pass(num_dpus, incremental ? 0 : 1);
   if (incremental) {
-    for (std::uint32_t t = 0; t < num_dpus; ++t) {
-      if (triplet_dirty_[t]) {
+    for (std::uint32_t t = 0; t < num_triplets; ++t) {
+      if (triplet_dirty_[t] && !triplet_lost_[t]) {
         full_pass[plan_.dpu_of(t)] = 1;
         ++dirty_full;
       }
     }
   }
-  system_->launch(
-      [&params, &full_pass](pim::Dpu& dpu) {
-        if (full_pass[dpu.id()]) {
-          run_count_kernel(dpu, params);
-        } else {
-          run_incremental_kernel(dpu, params);
-        }
-      },
-      &pim::PimPhaseTimes::count_s);
+  const auto kernel = [&params, &full_pass](pim::Dpu& dpu) {
+    if (full_pass[dpu.id()]) {
+      run_count_kernel(dpu, params);
+    } else {
+      run_incremental_kernel(dpu, params);
+    }
+  };
+  if (fault_plan_ == nullptr) {
+    system_->launch(kernel, &pim::PimPhaseTimes::count_s);
+  } else {
+    run_launch_with_recovery(kernel, full_pass);
+  }
   // After this launch every persisted arc array is fresh again: clean cores
   // merged their batch, dirty and first-time cores rebuilt from scratch.
   sorted_valid_ = config_.incremental && !overflowed;
@@ -816,10 +880,13 @@ TcResult PimTriangleCounter::recount() {
     instr_after += system_->dpu(d).total_instructions();
   }
 
-  // Gather per-core results in one rank-parallel pull.
+  // Gather per-core results in one rank-parallel pull (only banks that ran
+  // a kernel: spares and lost triplets' banks have nothing to report).
   std::vector<DpuMeta> metas(num_dpus);
   std::vector<pim::GatherSpan> gather_spans(num_dpus);
-  for (std::uint32_t d = 0; d < num_dpus; ++d) {
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
+    if (triplet_lost_[t]) continue;
+    const std::uint32_t d = plan_.dpu_of(t);
     gather_spans[d] = {MramLayout::kMetaOffset, &metas[d], sizeof(DpuMeta)};
   }
   system_->gather(gather_spans, &pim::PimPhaseTimes::count_s);
@@ -852,10 +919,14 @@ TcResult PimTriangleCounter::recount() {
 
   double total_scaled = 0.0;
   double mono_scaled = 0.0;
+  double total_weight = 0.0;      // Σ seen over all triplets
+  double surviving_weight = 0.0;  // Σ seen over surviving triplets
+  double max_density = 0.0;       // max scaled/seen over survivors
+  std::uint32_t lost_triplets = 0;
   std::uint64_t min_seen = ~0ull;
   std::uint64_t max_seen = 0;
-  std::vector<std::uint64_t> loads(num_dpus);
-  for (std::uint32_t t = 0; t < num_dpus; ++t) {
+  std::vector<std::uint64_t> loads(num_triplets);
+  for (std::uint32_t t = 0; t < num_triplets; ++t) {
     const std::uint64_t seen = reservoirs_[t].seen();
     loads[t] = seen;
     min_seen = std::min(min_seen, seen);
@@ -875,28 +946,263 @@ TcResult PimTriangleCounter::recount() {
     result.kind_edges_seen[kind - 1] += seen;
     ++result.kind_dpus[kind - 1];
 
+    // Coverage weights are *observed* per-triplet loads: the host knows
+    // seen() even for a triplet whose bank is gone, so losing a hub-heavy
+    // triplet shrinks coverage proportionally more than losing a light one.
+    const double w = static_cast<double>(seen);
+    total_weight += w;
+    if (triplet_lost_[t]) {
+      ++lost_triplets;
+      continue;
+    }
+    surviving_weight += w;
+
     const std::uint64_t raw = metas[plan_.dpu_of(t)].triangle_count;
     result.raw_total += raw;
     const double q = reservoir_correction(capacity_, eff);
     const double scaled = q > 0.0 ? static_cast<double>(raw) / q : 0.0;
     total_scaled += scaled;
     if (kind == 1) mono_scaled += scaled;
+    if (seen > 0) max_density = std::max(max_density, scaled / w);
   }
-  result.min_dpu_edges = (num_dpus == 0 || min_seen == ~0ull) ? 0 : min_seen;
+  result.min_dpu_edges =
+      (num_triplets == 0 || min_seen == ~0ull) ? 0 : min_seen;
   result.max_dpu_edges = max_seen;
   result.load_imbalance = color::PartitionPlan::load_imbalance(loads);
 
+  const double coverage =
+      total_weight > 0.0 ? surviving_weight / total_weight : 1.0;
   const double colors = static_cast<double>(config_.num_colors);
-  const double corrected = total_scaled - (colors - 1.0) * mono_scaled;
+  double corrected = total_scaled - (colors - 1.0) * mono_scaled;
+  if (lost_triplets > 0) {
+    // Degraded mode: extrapolate the surviving triplets' contribution by
+    // their seen-edge coverage (DESIGN.md, "Fault model & recovery").
+    corrected = coverage > 0.0 ? corrected / coverage : 0.0;
+  }
   result.estimate = corrected * uniform_sampling_correction(config_.uniform_p);
-  result.exact = config_.uniform_p >= 1.0 && result.reservoir_overflows == 0;
+  result.exact = config_.uniform_p >= 1.0 &&
+                 result.reservoir_overflows == 0 && lost_triplets == 0;
   if (result.exact) {
     // Exact mode produces an integer by construction; kill float fuzz.
     result.estimate = static_cast<double>(result.rounded());
   }
   result.times = system_->times();
   result.transfers = system_->transfer_stats();
+
+  if (fault_plan_ != nullptr) {
+    pim::FaultStats f = fault_tally_;
+    f.injected = true;
+    f.degraded = lost_triplets > 0;
+    f.coverage = coverage;
+    f.dropped_triplets = lost_triplets;
+    const pim::FaultCounters& c = system_->fault_counters();
+    f.launch_transients = c.launch_transients;
+    f.dead_dpus = c.dead_dpus;
+    f.rank_outages = c.rank_outages;
+    f.transfer_corruptions = c.transfer_corruptions;
+    f.transfer_retries = c.transfer_retries;
+    f.checksum_bytes = c.checksum_bytes + fault_tally_.checksum_bytes;
+    f.detection_s = c.detection_s + fault_tally_.detection_s;
+    if (f.degraded) {
+      // Widened relative bound on the coverage extrapolation: the missing
+      // mass is at most (1-c)/c of the surviving mass times how much denser
+      // (triangles per seen edge) the worst surviving triplet is than the
+      // mean; the leading 2 is slack for the lost triplets being denser
+      // still.  Property-tested on fig-scale hub-heavy graphs.
+      const double mean_density =
+          surviving_weight > 0.0 ? total_scaled / surviving_weight : 0.0;
+      const double dispersion =
+          (mean_density > 0.0 && max_density > mean_density)
+              ? max_density / mean_density
+              : 1.0;
+      f.error_bound =
+          coverage > 0.0 ? 2.0 * ((1.0 - coverage) / coverage) * dispersion
+                         : 1.0;
+    }
+    // Both ledgers are cumulative over the session: the system's counters
+    // by construction, the host tally because it is only ever incremented.
+    result.faults = f;
+  }
   return result;
+}
+
+void PimTriangleCounter::run_launch_with_recovery(
+    const std::function<void(pim::Dpu&)>& kernel,
+    std::vector<std::uint8_t>& full_pass) {
+  const pim::FaultSpec& spec = fault_plan_->spec();
+  std::vector<std::uint32_t> pending;
+  for (std::uint32_t t = 0; t < plan_.num_triplets(); ++t) {
+    if (!triplet_lost_[t]) pending.push_back(plan_.dpu_of(t));
+  }
+  std::sort(pending.begin(), pending.end());
+  std::uint32_t backoff_round = 0;
+  while (!pending.empty()) {
+    const pim::PimSystem::LaunchReport report =
+        system_->launch_checked(pending, kernel, &pim::PimPhaseTimes::count_s);
+    std::vector<std::uint32_t> next;
+
+    // Permanently dead banks: migrate their triplet to a healthy spare and
+    // re-materialize from the host mirror (full kernel pass rebuilds the
+    // sorted arcs), or drop the triplet when no spare/mirror exists.
+    for (const std::uint32_t bank : report.dead) {
+      const std::uint32_t target =
+          recover_unusable_bank(plan_.triplet_of(bank));
+      if (target != color::PartitionPlan::kNoTriplet) {
+        full_pass[target] = 1;
+        next.push_back(target);
+      }
+    }
+
+    // Transient launch failures fire before the kernel touches device
+    // state, so a retry replays the identical input — capped exponential
+    // backoff, charged to the modeled count phase.
+    if (!report.transient.empty()) {
+      if (spec.recovery != pim::FaultSpec::Recovery::kDegrade &&
+          backoff_round < spec.max_retries) {
+        ++backoff_round;
+        const double backoff_s =
+            spec.backoff_base_s * static_cast<double>(1u << (backoff_round - 1));
+        system_->charge_host(backoff_s, &pim::PimPhaseTimes::count_s);
+        fault_tally_.recovery_s += backoff_s;
+        fault_tally_.launch_retries += report.transient.size();
+        next.insert(next.end(), report.transient.begin(),
+                    report.transient.end());
+      } else {
+        // Retry budget exhausted (or degrade-only policy): treat the bank
+        // as unusable for this count.
+        for (const std::uint32_t bank : report.transient) {
+          const std::uint32_t target =
+              recover_unusable_bank(plan_.triplet_of(bank));
+          if (target != color::PartitionPlan::kNoTriplet) {
+            full_pass[target] = 1;
+            next.push_back(target);
+          }
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    pending = std::move(next);
+  }
+}
+
+std::uint32_t PimTriangleCounter::recover_unusable_bank(std::uint32_t t) {
+  if (fault_plan_->spec().recovery ==
+          pim::FaultSpec::Recovery::kRematerialize &&
+      mirrors_valid_) {
+    const std::uint32_t banks = system_->num_dpus();
+    for (std::uint32_t b = 0; b < banks; ++b) {
+      if (plan_.triplet_of(b) != color::PartitionPlan::kNoTriplet) continue;
+      if (system_->dpu_dead(b)) continue;
+      std::vector<std::uint32_t> placement = plan_.placement();
+      placement[t] = b;
+      plan_.set_placement(placement);
+      fault_tally_.recovery_s += materialize_bank(t, b);
+      ++fault_tally_.rematerializations;
+      ++fault_tally_.migrations;
+      return b;
+    }
+  }
+  triplet_lost_[t] = 1;
+  return color::PartitionPlan::kNoTriplet;
+}
+
+double PimTriangleCounter::materialize_bank(std::uint32_t t,
+                                            std::uint32_t bank) {
+  double seconds = 0.0;
+  const sketch::SampleMirror<Edge>& mirror = mirrors_[t];
+  const std::uint64_t sample_bytes = mirror.size() * sizeof(Edge);
+  if (sample_bytes > 0) {
+    std::vector<pim::ScatterSpan> spans(system_->num_dpus());
+    spans[bank] = {MramLayout::sample_offset(), mirror.items().data(),
+                   sample_bytes};
+    seconds += system_->scatter(spans, &pim::PimPhaseTimes::count_s);
+  }
+  // Fresh control block: the kernel-owned sorted state of whatever occupied
+  // this bank before is meaningless for the restored sample.
+  DpuMeta meta;
+  meta.sample_size = reservoirs_[t].stored();
+  meta.edges_seen = reservoirs_[t].seen();
+  meta.sample_capacity = capacity_;
+  meta.num_remap = static_cast<std::uint32_t>(frozen_remap_.size());
+  if (config_.incremental && !any_reservoir_overflowed()) {
+    meta.flags |= DpuMeta::kFlagPersistSorted;
+  }
+  pim::Dpu& dpu = system_->dpu(bank);
+  dpu.mram().write_t(MramLayout::kMetaOffset, meta);
+  if (!frozen_remap_.empty()) {
+    dpu.mram().write(MramLayout::kRemapOffset, frozen_remap_.data(),
+                     frozen_remap_.size() * sizeof(NodeId));
+  }
+  std::vector<std::uint64_t> meta_bytes(system_->num_dpus(), 0);
+  meta_bytes[bank] = sizeof(DpuMeta) + frozen_remap_.size() * sizeof(NodeId);
+  seconds += system_->charge_scatter(meta_bytes, &pim::PimPhaseTimes::count_s);
+  return seconds;
+}
+
+void PimTriangleCounter::inject_and_scrub_bitflips() {
+  // The epoch advances every recount, fired or not: the draw stream must
+  // not depend on what earlier epochs happened to hit.
+  const std::uint64_t epoch = fault_epoch_++;
+  const pim::FaultSpec& spec = fault_plan_->spec();
+  if (spec.mram_bitflip <= 0.0) return;
+  for (std::uint32_t t = 0; t < plan_.num_triplets(); ++t) {
+    if (triplet_lost_[t]) continue;
+    const std::uint64_t stored = reservoirs_[t].stored();
+    if (stored == 0) continue;
+    const std::uint32_t bank = plan_.dpu_of(t);
+    if (system_->dpu_dead(bank)) continue;
+    if (!fault_plan_->mram_bitflip(epoch, t)) continue;
+
+    const std::uint64_t bytes = stored * sizeof(Edge);
+    const std::uint64_t bit = fault_plan_->corrupt_bit(epoch, t, bytes * 8);
+    auto& mram = system_->dpu(bank).mram();
+    const std::uint64_t addr = MramLayout::sample_offset() + bit / 8;
+    std::uint8_t byte = 0;
+    mram.read(addr, &byte, 1);
+    byte = static_cast<std::uint8_t>(byte ^ (1u << (bit % 8)));
+    mram.write(addr, &byte, 1);
+    ++fault_tally_.mram_bitflips;
+    if (!spec.checksums) continue;  // silent rot: the count reads garbage
+
+    // Scrub detects the flip (modeled checksum sweep of the resident
+    // sample), then restores from the host mirror when one exists.
+    const double scrub_s =
+        static_cast<double>(bytes) / (spec.checksum_gb_s * 1e9);
+    system_->charge_host(scrub_s, &pim::PimPhaseTimes::count_s);
+    fault_tally_.detection_s += scrub_s;
+    fault_tally_.checksum_bytes += bytes;
+    if (mirrors_valid_) {
+      fault_tally_.recovery_s += materialize_bank(t, bank);
+      ++fault_tally_.sample_restores;
+      // The restored control block reset the kernel-owned sorted state;
+      // force the full pipeline on this core.
+      triplet_dirty_[t] = 1;
+    } else {
+      triplet_lost_[t] = 1;
+    }
+  }
+}
+
+void PimTriangleCounter::restore_bank(std::uint32_t triplet) {
+  if (triplet >= plan_.num_triplets()) {
+    throw std::invalid_argument(
+        "PimTriangleCounter::restore_bank: no such triplet");
+  }
+  if (!mirrors_valid_) {
+    throw std::logic_error(
+        "PimTriangleCounter::restore_bank: host mirrors not materialized; "
+        "call ensure_mirrors() first");
+  }
+  drain_in_flight(0.0);
+  materialize_bank(triplet, plan_.dpu_of(triplet));
+  triplet_dirty_[triplet] = 1;
+}
+
+bool PimTriangleCounter::any_reservoir_overflowed() const noexcept {
+  for (const auto& r : reservoirs_) {
+    if (r.effective_seen() > capacity_) return true;
+  }
+  return false;
 }
 
 std::vector<std::uint64_t> PimTriangleCounter::per_dpu_edges_seen() const {

@@ -110,6 +110,25 @@ class PimTriangleCounter {
   /// arbitrary permutations.
   bool migrate_to(std::span<const std::uint32_t> dpu_of_triplet);
 
+  // ---- fault recovery ------------------------------------------------------
+  /// Materializes the host-side sample mirrors now (one modeled gather) —
+  /// the precondition of restore_bank().  Sessions with deletions or a
+  /// rematerialize fault policy already keep them current.
+  void ensure_mirrors() { materialize_mirrors(); }
+
+  /// Re-scatters triplet `triplet`'s host-known sample plus a fresh control
+  /// block onto its current bank — the primitive dead-bank re-materialization
+  /// and bit-flip scrubbing are built on.  The bank's kernel-owned sorted
+  /// state is rebuilt on the next recount; the estimate is bit-identical to
+  /// an uninterrupted run.  Requires mirrors (ensure_mirrors()).
+  void restore_bank(std::uint32_t triplet);
+
+  /// True when the triplet's contribution was lost to an unrecoverable
+  /// fault (degraded estimates reweight around it).
+  [[nodiscard]] bool triplet_lost(std::uint32_t triplet) const noexcept {
+    return triplet_lost_[triplet] != 0;
+  }
+
   /// Zeroes the accumulated phase times and transfer diagnostics.  An
   /// in-flight pipelined flush belongs to the pre-reset window, so it is
   /// settled first and cannot leak into the next measurement window.
@@ -187,6 +206,33 @@ class PimTriangleCounter {
   /// set_placement + sample migration; returns false when nothing changed.
   bool apply_placement(std::span<const std::uint32_t> dpu_of_triplet);
 
+  // ---- fault recovery internals -------------------------------------------
+  /// recount()'s launch loop under an armed fault plan: launch the assigned
+  /// live banks, retry transients with capped exponential backoff (modeled
+  /// time charged to the count phase), and route dead banks through
+  /// recover_unusable_bank() until every surviving bank has run.
+  void run_launch_with_recovery(const std::function<void(pim::Dpu&)>& kernel,
+                                std::vector<std::uint8_t>& full_pass);
+
+  /// Recovery decision for triplet `t` whose bank is unusable: under the
+  /// rematerialize policy (with mirrors) patch the placement onto the first
+  /// healthy spare bank, restore the sample there and return the new bank;
+  /// otherwise mark the triplet lost and return kNoTriplet.
+  std::uint32_t recover_unusable_bank(std::uint32_t t);
+
+  /// Pushes triplet `t`'s mirrored sample + a fresh control block (and the
+  /// frozen remap table) onto `bank`; returns the modeled seconds charged.
+  double materialize_bank(std::uint32_t t, std::uint32_t bank);
+
+  /// Draws this recount's MRAM bit flips, applies them to the resident
+  /// samples, and — when checksums are on — charges the scrub scan and
+  /// restores flipped samples from the mirrors (or drops the triplet when
+  /// no mirror exists).  Without checksums the corruption rides silently
+  /// into the kernel.
+  void inject_and_scrub_bitflips();
+
+  [[nodiscard]] bool any_reservoir_overflowed() const noexcept;
+
   /// The partitioning/staging pool: dedicated when config.host_threads is
   /// pinned, the shared process-global pool otherwise — so N concurrent
   /// counters (the serving layer's sessions) do not stack N hardware-wide
@@ -255,6 +301,20 @@ class PimTriangleCounter {
   bool sorted_valid_ = false;
   /// Remap table in effect; frozen at the first count in incremental mode.
   std::vector<NodeId> frozen_remap_;
+
+  // ---- fault injection state ----------------------------------------------
+  /// Armed fault plan (shared with the PimSystem); null = injection off and
+  /// every path above behaves byte-identically to a build without faults.
+  std::shared_ptr<const pim::FaultPlan> fault_plan_;
+  /// Per-triplet "contribution lost to an unrecoverable fault" flags.
+  /// Persistent: a lost triplet stays lost for the rest of the session.
+  std::vector<std::uint8_t> triplet_lost_;
+  /// Recount index feeding the deterministic bit-flip draws.
+  std::uint64_t fault_epoch_ = 0;
+  /// Host-side recovery tallies accumulated across recounts (launch
+  /// retries, rematerializations, scrubs); the PimSystem keeps the
+  /// transfer/launch-level counters.
+  pim::FaultStats fault_tally_;
 };
 
 }  // namespace pimtc::tc

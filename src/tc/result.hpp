@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "pim/fault.hpp"
 #include "pim/system.hpp"
 #include "tc/intersect.hpp"
 
@@ -84,6 +85,13 @@ struct TcResult {
   std::uint64_t count_instructions = 0;
   /// Resolved intersection policy name ("auto" | "merge" | "gallop").
   std::string intersect;
+
+  // ---- fault injection / recovery ------------------------------------------
+  /// Recovery ledger of the session (injected == false when fault injection
+  /// is off).  When `faults.degraded` the estimate is reweighted by
+  /// `faults.coverage` and `exact` is forced false; `faults.error_bound` is
+  /// the widened relative bound on the coverage extrapolation.
+  pim::FaultStats faults;
 
   [[nodiscard]] TriangleCount rounded() const noexcept {
     return estimate <= 0 ? 0 : static_cast<TriangleCount>(estimate + 0.5);

@@ -6,6 +6,7 @@
 // serving layer's SessionManager::ingest_file bulk load.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
@@ -18,6 +19,7 @@
 #include "engine/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "graph/io_error.hpp"
 #include "graph/pbin.hpp"
 #include "graph/stream_reader.hpp"
 #include "serve/session_manager.hpp"
@@ -171,6 +173,71 @@ TEST_F(IngestTest, PbinRejectsChecksumMismatchOnBothPaths) {
   EXPECT_EQ(graph::read_bin(dir_ / "flip.pbin", /*verify_checksum=*/false)
                 .num_edges(),
             graph::gen::wheel(8).num_edges());
+}
+
+TEST_F(IngestTest, PbinRejectsUnknownFlagBitsOnBothPaths) {
+  // A version-1 file carrying flag bits this build cannot honor must be
+  // rejected, not silently half-read.  Flags live at header offset 12.
+  graph::write_bin(graph::gen::wheel(8), dir_ / "g.pbin");
+  std::string bytes = slurp(dir_ / "g.pbin");
+  bytes[12] = static_cast<char>(bytes[12] | 0x40);
+  std::ofstream(dir_ / "flags.pbin", std::ios::binary) << bytes;
+  expect_error_containing([&] { (void)graph::read_bin(dir_ / "flags.pbin"); },
+                          {"flags.pbin", "unknown .pbin flag bits"});
+  expect_error_containing(
+      [&] {
+        graph::ChunkedEdgeReader reader(dir_ / "flags.pbin",
+                                        {.chunk_edges = 4});
+        (void)drain(reader);
+      },
+      {"flags.pbin", "unknown .pbin flag bits"});
+}
+
+TEST_F(IngestTest, PbinRejectsZeroLengthFileOnBothPaths) {
+  std::ofstream(dir_ / "empty.pbin", std::ios::binary).flush();
+  expect_error_containing([&] { (void)graph::read_bin(dir_ / "empty.pbin"); },
+                          {"empty.pbin", "truncated header"});
+  expect_error_containing(
+      [&] {
+        graph::ChunkedEdgeReader reader(dir_ / "empty.pbin",
+                                        {.chunk_edges = 4});
+        (void)drain(reader);
+      },
+      {"empty.pbin", "truncated header"});
+}
+
+TEST_F(IngestTest, PbinRejectsHeaderPayloadSizeMismatch) {
+  // A header declaring more edges than the payload holds — a payload-size
+  // mismatch rather than a mid-write truncation — names the file too.
+  graph::write_bin(graph::gen::wheel(8), dir_ / "g.pbin");
+  std::string bytes = slurp(dir_ / "g.pbin");
+  std::uint64_t m = 0;
+  std::memcpy(&m, bytes.data() + 24, 8);
+  m += 3;
+  std::memcpy(bytes.data() + 24, &m, 8);
+  std::ofstream(dir_ / "short.pbin", std::ios::binary) << bytes;
+  expect_error_containing([&] { (void)graph::read_bin(dir_ / "short.pbin"); },
+                          {"short.pbin", "truncated edge payload"});
+  expect_error_containing(
+      [&] {
+        graph::ChunkedEdgeReader reader(dir_ / "short.pbin",
+                                        {.chunk_edges = 4});
+        (void)drain(reader);
+      },
+      {"short.pbin", "truncated edge payload"});
+}
+
+TEST_F(IngestTest, PbinErrorsAreTypedIoErrors) {
+  // The CLI's `error: <file>: <reason>` line needs the structured fields,
+  // not just the legacy what() string.
+  std::ofstream(dir_ / "empty.pbin", std::ios::binary).flush();
+  try {
+    (void)graph::read_bin(dir_ / "empty.pbin");
+    FAIL() << "expected graph::IoError";
+  } catch (const graph::IoError& e) {
+    EXPECT_EQ(e.path().filename(), "empty.pbin");
+    EXPECT_EQ(e.reason(), "truncated header");
+  }
 }
 
 // ---- chunked reader ---------------------------------------------------------

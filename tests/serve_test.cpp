@@ -395,6 +395,199 @@ TEST(ServeLifecycleTest, SessionHostThreadsDefaultIsResolvedToOne) {
   EXPECT_EQ(mgr2.resolve_engine_config(cfg).host_threads, 0u);
 }
 
+// ---- fault containment ------------------------------------------------------
+
+/// cpu-incremental whose apply()/recount() throw on command — including a
+/// non-std object, which engines are not obliged to avoid.  Registration is
+/// process-global, so the arming knobs are static; each test arms them
+/// before submitting and the single-drain invariant keeps the order
+/// deterministic.
+class ThrowingEngine final : public engine::TriangleCountEngine {
+ public:
+  inline static std::atomic<int> apply_raw_throws{0};   ///< `throw 42`
+  inline static std::atomic<int> apply_std_throws{0};   ///< runtime_error
+  inline static std::atomic<int> recount_throws{0};
+
+  explicit ThrowingEngine(const engine::EngineConfig& cfg)
+      : TriangleCountEngine(cfg),
+        inner_(engine::make_engine("cpu-incremental", cfg)) {}
+
+  void add_edges(std::span<const Edge> batch) override {
+    inner_->add_edges(batch);
+  }
+  void apply(std::span<const EdgeUpdate> updates) override {
+    if (apply_raw_throws.load() > 0) {
+      apply_raw_throws.fetch_sub(1);
+      throw 42;  // deliberately not a std::exception
+    }
+    if (apply_std_throws.load() > 0) {
+      apply_std_throws.fetch_sub(1);
+      throw std::runtime_error("apply boom");
+    }
+    inner_->apply(updates);
+  }
+  engine::CountReport recount() override {
+    if (recount_throws.load() > 0) {
+      recount_throws.fetch_sub(1);
+      throw std::runtime_error("recount boom");
+    }
+    return inner_->recount();
+  }
+  [[nodiscard]] engine::EngineCapabilities capabilities() const override {
+    return inner_->capabilities();
+  }
+  [[nodiscard]] const char* name() const noexcept override {
+    return "throwing";
+  }
+  void reset_timers() override { inner_->reset_timers(); }
+
+ private:
+  std::unique_ptr<engine::TriangleCountEngine> inner_;
+};
+
+const char* throwing_backend() {
+  static const bool registered = [] {
+    engine::register_backend("throwing", [](const engine::EngineConfig& c) {
+      return std::unique_ptr<engine::TriangleCountEngine>(
+          new ThrowingEngine(c));
+    });
+    return true;
+  }();
+  (void)registered;
+  ThrowingEngine::apply_raw_throws = 0;
+  ThrowingEngine::apply_std_throws = 0;
+  ThrowingEngine::recount_throws = 0;
+  return "throwing";
+}
+
+TEST(ServeFaultTest, ThrowingApplyDoesNotKillWorkerOrWedgeSession) {
+  // The first batch throws a raw int, the second a std::exception; both
+  // must be contained in the drain — counted as failed, batch dropped —
+  // with every later batch applied and the session still serving.
+  const engine::EngineConfig ecfg = small_engine_config();
+  SessionManager mgr;
+  mgr.open("t", throwing_backend(), ecfg);
+  ThrowingEngine::apply_raw_throws = 1;
+  ThrowingEngine::apply_std_throws = 1;
+
+  const std::vector<EdgeUpdate> stream = test_stream(101);
+  const auto batches = batches_of(stream, 200);
+  ASSERT_GE(batches.size(), 4u);
+  for (const auto batch : batches) {
+    ASSERT_EQ(mgr.submit("t", batch), SubmitResult::kAccepted);
+  }
+  const QueryResult r = mgr.flush("t");
+  EXPECT_EQ(r.stats.batches_failed, 2u);
+  EXPECT_EQ(r.stats.batches_applied, batches.size() - 2);
+  EXPECT_EQ(r.stats.queue_depth_updates, 0u);
+  EXPECT_EQ(r.stats.last_error, "apply boom");  // the raw throw came first
+
+  // The served state is exactly the surviving batches, in order.
+  std::vector<EdgeUpdate> survivors;
+  for (std::size_t i = 2; i < batches.size(); ++i) {
+    survivors.insert(survivors.end(), batches[i].begin(), batches[i].end());
+  }
+  EXPECT_EQ(r.estimate, serial_replay_estimate(mgr, "cpu-incremental", ecfg,
+                                               survivors));
+
+  // Still alive: more work is accepted, applied, and visible.
+  const std::vector<EdgeUpdate> more{insert_of(Edge{2, 3}),
+                                     insert_of(Edge{7, 9})};
+  ASSERT_EQ(mgr.submit("t", more), SubmitResult::kAccepted);
+  const QueryResult after = mgr.flush("t");
+  EXPECT_EQ(after.stats.batches_failed, 2u);
+  EXPECT_GT(after.epoch, r.epoch);
+  const SessionStats closed = mgr.close("t");
+  EXPECT_EQ(closed.queue_depth_updates, 0u);
+}
+
+TEST(ServeFaultTest, FaultedRecountKeepsPriorSnapshotLive) {
+  // Publish epoch 1 cleanly, then arm recount to fail through the retry
+  // budget: the session must keep serving epoch 1's estimate, count the
+  // retry and the failure, and recover on the next publish.
+  ServeConfig scfg;
+  scfg.recount_retries = 1;
+  SessionManager mgr(scfg);
+  const engine::EngineConfig ecfg = small_engine_config();
+  mgr.open("t", throwing_backend(), ecfg);
+
+  const std::vector<EdgeUpdate> first{insert_of(Edge{0, 1}),
+                                      insert_of(Edge{1, 2}),
+                                      insert_of(Edge{0, 2})};
+  ASSERT_EQ(mgr.submit("t", first), SubmitResult::kAccepted);
+  const QueryResult live = mgr.flush("t");
+  ASSERT_EQ(live.epoch, 1u);
+  ASSERT_EQ(live.estimate, 1.0);
+
+  ThrowingEngine::recount_throws = 2;  // first attempt + its retry
+  const std::vector<EdgeUpdate> second{insert_of(Edge{2, 3}),
+                                       insert_of(Edge{3, 0})};
+  ASSERT_EQ(mgr.submit("t", second), SubmitResult::kAccepted);
+  const QueryResult stale = mgr.flush("t");  // flush still terminates
+  EXPECT_EQ(stale.epoch, 1u);                // prior snapshot stayed live
+  EXPECT_EQ(stale.estimate, 1.0);
+  EXPECT_EQ(stale.stats.recounts_retried, 1u);
+  EXPECT_EQ(stale.stats.recounts_failed, 1u);
+  EXPECT_EQ(stale.stats.last_error, "recount boom");
+  EXPECT_EQ(stale.stats.updates_applied, first.size() + second.size());
+
+  // Unarmed again: the next publish catches the session back up.
+  const std::vector<EdgeUpdate> third{insert_of(Edge{1, 3})};
+  ASSERT_EQ(mgr.submit("t", third), SubmitResult::kAccepted);
+  const QueryResult fresh = mgr.flush("t");
+  EXPECT_GT(fresh.epoch, 1u);
+  std::vector<EdgeUpdate> all(first);
+  all.insert(all.end(), second.begin(), second.end());
+  all.insert(all.end(), third.begin(), third.end());
+  EXPECT_EQ(fresh.estimate,
+            serial_replay_estimate(mgr, "cpu-incremental", ecfg, all));
+}
+
+TEST(ServeFaultTest, RecountRetrySalvagesTransientFailure) {
+  ServeConfig scfg;
+  scfg.recount_retries = 1;
+  SessionManager mgr(scfg);
+  mgr.open("t", throwing_backend(), small_engine_config());
+  ThrowingEngine::recount_throws = 1;  // fails once, the retry succeeds
+  const std::vector<EdgeUpdate> tri{insert_of(Edge{0, 1}),
+                                    insert_of(Edge{1, 2}),
+                                    insert_of(Edge{0, 2})};
+  ASSERT_EQ(mgr.submit("t", tri), SubmitResult::kAccepted);
+  const QueryResult r = mgr.flush("t");
+  EXPECT_EQ(r.epoch, 1u);
+  EXPECT_EQ(r.estimate, 1.0);
+  EXPECT_EQ(r.stats.recounts_retried, 1u);
+  EXPECT_EQ(r.stats.recounts_failed, 0u);
+  EXPECT_TRUE(r.stats.healthy());
+}
+
+TEST(ServeFaultTest, SessionHealthSurfacesDegradedEngineState) {
+  // A pim session under unrecoverable injected faults reports degraded
+  // health and partial coverage through SessionStats; a clean session
+  // reports healthy defaults.
+  engine::EngineConfig ecfg = small_engine_config();
+  ecfg.fault_spec = "seed=5,launch-permanent=0.2,recovery=degrade";
+  SessionManager mgr;
+  mgr.open("t", "pim", ecfg);
+  const std::vector<EdgeUpdate> stream = test_stream(47);
+  for (const auto batch : batches_of(stream, 256)) {
+    ASSERT_EQ(mgr.submit("t", batch), SubmitResult::kAccepted);
+  }
+  const QueryResult r = mgr.flush("t");
+  EXPECT_TRUE(r.stats.degraded);
+  EXPECT_FALSE(r.stats.healthy());
+  EXPECT_LT(r.stats.coverage, 1.0);
+  EXPECT_GT(r.stats.dropped_triplets, 0u);
+  EXPECT_FALSE(r.report.exact);
+
+  SessionManager clean;
+  clean.open("c", "pim", small_engine_config());
+  ASSERT_EQ(clean.submit("c", stream), SubmitResult::kAccepted);
+  const QueryResult cr = clean.flush("c");
+  EXPECT_TRUE(cr.stats.healthy());
+  EXPECT_EQ(cr.stats.coverage, 1.0);
+}
+
 TEST(ServeLifecycleTest, LatenciesAreRecordedPerPublishedBatch) {
   SessionManager mgr;
   mgr.open("t", "cpu-incremental", small_engine_config());
