@@ -1,0 +1,77 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// The serving layer and the thread pool make hard lock-discipline promises
+// (single drainer per session, snapshot mutex never held across engine
+// work, fixed mutex acquisition order between the admission budget and the
+// session state) that used to be enforced only dynamically, by the TSan CI
+// job.  These macros attach those promises to the types themselves so that
+// Clang's -Wthread-safety analysis checks them at compile time; see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and DESIGN.md
+// "Static analysis & correctness tooling".
+//
+// Under any compiler without the analysis (gcc builds, MSVC) every macro
+// expands to nothing, so annotated code stays portable.  The CI
+// static-analysis job builds with clang and -Wthread-safety -Werror, which
+// turns a lock-discipline regression into a build failure.
+//
+// Use PIMTC_-prefixed macros only: the unprefixed attribute spellings
+// (GUARDED_BY, REQUIRES, ...) collide with other libraries' headers.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define PIMTC_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef PIMTC_THREAD_ANNOTATION
+#define PIMTC_THREAD_ANNOTATION(x)  // expands to nothing off-Clang
+#endif
+
+/// Marks a type as a lockable capability (our Mutex wrapper).
+#define PIMTC_CAPABILITY(x) PIMTC_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases a
+/// capability (our MutexLock wrapper).
+#define PIMTC_SCOPED_CAPABILITY PIMTC_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while holding the named mutex.
+#define PIMTC_GUARDED_BY(x) PIMTC_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the named mutex.
+#define PIMTC_PT_GUARDED_BY(x) PIMTC_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function callable only while already holding the named mutex(es); the
+/// "_locked" suffix convention in this codebase pairs with this macro.
+#define PIMTC_REQUIRES(...) \
+  PIMTC_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the named mutex(es) and returns holding them.
+#define PIMTC_ACQUIRE(...) \
+  PIMTC_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the named mutex(es).
+#define PIMTC_RELEASE(...) \
+  PIMTC_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function that acquires the mutex only when returning `result`.
+#define PIMTC_TRY_ACQUIRE(...) \
+  PIMTC_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function that must be entered *without* the named mutex(es) held — the
+/// compile-time form of "this call blocks / runs engine work, never hold
+/// the snapshot or state mutex across it".
+#define PIMTC_EXCLUDES(...) PIMTC_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Assert-at-runtime escape hatch: tells the analysis the capability is
+/// held without acquiring it (for code reachable only under a lock the
+/// analysis cannot see).
+#define PIMTC_ASSERT_CAPABILITY(x) \
+  PIMTC_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returning a reference to the named capability.
+#define PIMTC_RETURN_CAPABILITY(x) PIMTC_THREAD_ANNOTATION(lock_returned(x))
+
+/// Last resort: disables the analysis for one function.  Every use must
+/// carry a justification comment (same policy as NOLINT).
+#define PIMTC_NO_THREAD_SAFETY_ANALYSIS \
+  PIMTC_THREAD_ANNOTATION(no_thread_safety_analysis)

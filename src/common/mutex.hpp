@@ -1,0 +1,81 @@
+// Annotated mutex wrappers for Clang Thread Safety Analysis.
+//
+// std::mutex and std::lock_guard carry no capability attributes under
+// libstdc++, so -Wthread-safety cannot see locks acquired through them.
+// Mutex wraps std::mutex as an annotated capability and MutexLock is the
+// annotated scoped guard the analysis tracks — including mid-scope
+// unlock()/lock() (the serving layer releases the session state mutex
+// around engine work) and condition-variable waits.
+//
+// Wait discipline: there is deliberately no wait-with-predicate overload.
+// A predicate lambda is a separate function to the analysis, so guarded
+// reads inside it cannot be proven; instead, callers spell the textbook
+// equivalent
+//
+//     while (!condition) lock.wait(cv);
+//
+// where `condition` reads guarded state directly in the scope that
+// provably holds the mutex.  cv.wait() releases and reacquires the native
+// mutex internally, which matches the analysis' view that the capability
+// is held continuously across the call.
+//
+// Zero overhead: both types compile to the std primitives they wrap, with
+// MutexLock holding a std::unique_lock so std::condition_variable (not the
+// slower condition_variable_any) keeps working.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/annotations.hpp"
+
+namespace pimtc {
+
+/// std::mutex as a Clang TSA capability.
+class PIMTC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PIMTC_ACQUIRE() { m_.lock(); }
+  void unlock() PIMTC_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() PIMTC_TRY_ACQUIRE(true) {
+    return m_.try_lock();
+  }
+
+  /// The wrapped mutex, for MutexLock's std::unique_lock.  Locking through
+  /// this reference is invisible to the analysis — do not use it directly.
+  [[nodiscard]] std::mutex& native() noexcept { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped lock the analysis tracks; supports mid-scope unlock()/lock() and
+/// condition-variable waits (see the header comment for the discipline).
+class PIMTC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) PIMTC_ACQUIRE(m) : lock_(m.native()) {}
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() PIMTC_RELEASE() {}
+
+  /// Mid-scope release (e.g. dropping the state mutex before touching the
+  /// admission budget); the destructor then releases nothing.
+  void unlock() PIMTC_RELEASE() { lock_.unlock(); }
+
+  /// Reacquire after a mid-scope unlock().
+  void lock() PIMTC_ACQUIRE() { lock_.lock(); }
+
+  /// One blocking wait on `cv`.  The native mutex is released while
+  /// waiting and held again on return, so from the caller's (and the
+  /// analysis') perspective the capability is held across the call; any
+  /// guarded condition must be re-checked by the surrounding while-loop.
+  void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace pimtc

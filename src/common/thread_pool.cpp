@@ -17,22 +17,22 @@ thread_local const ThreadPool* current_pool = nullptr;
 /// in-flight counter would make callers wait on each other's tasks and
 /// leak exceptions across calls.
 struct Completion {
-  std::mutex mutex;
+  Mutex mutex;
   std::condition_variable cv;
-  std::size_t remaining;
-  std::exception_ptr first_error;
+  std::size_t remaining PIMTC_GUARDED_BY(mutex);
+  std::exception_ptr first_error PIMTC_GUARDED_BY(mutex);
 
   explicit Completion(std::size_t n) : remaining(n) {}
 
-  void finish_one(std::exception_ptr error) {
-    std::lock_guard lock(mutex);
+  void finish_one(std::exception_ptr error) PIMTC_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
     if (error && !first_error) first_error = std::move(error);
     if (--remaining == 0) cv.notify_all();
   }
 
-  void wait() {
-    std::unique_lock lock(mutex);
-    cv.wait(lock, [this] { return remaining == 0; });
+  void wait() PIMTC_EXCLUDES(mutex) {
+    MutexLock lock(mutex);
+    while (remaining != 0) lock.wait(cv);
     if (first_error) std::rethrow_exception(first_error);
   }
 };
@@ -51,7 +51,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_task_.notify_all();
@@ -63,8 +63,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) lock.wait(cv_task_);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -75,7 +75,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::enqueue(std::function<void()> fn) {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(fn));
   }
   cv_task_.notify_one();

@@ -27,11 +27,13 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 
 namespace pimtc {
 
@@ -92,14 +94,14 @@ class ThreadPool {
  private:
   /// Fire-and-forget enqueue; `fn` must not throw (submit/parallel_for wrap
   /// user code so its exceptions are captured before they reach the worker).
-  void enqueue(std::function<void()> fn);
-  void worker_loop();
+  void enqueue(std::function<void()> fn) PIMTC_EXCLUDES(mutex_);
+  void worker_loop() PIMTC_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  Mutex mutex_;
+  std::deque<std::function<void()>> queue_ PIMTC_GUARDED_BY(mutex_);
   std::condition_variable cv_task_;
-  bool stop_ = false;
+  bool stop_ PIMTC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pimtc

@@ -1,10 +1,11 @@
 #include "engine/registry.hpp"
 
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <utility>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "cpufast/cpu_fast_engine.hpp"
 #include "engine/cpu_engine.hpp"
 #include "engine/pim_engine.hpp"
@@ -16,8 +17,9 @@ namespace {
 // Explicit registration of the built-ins (instead of self-registering
 // translation units, which a static-library link is free to drop).
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, EngineFactory, std::less<>> factories;
+  Mutex mutex;
+  std::map<std::string, EngineFactory, std::less<>> factories
+      PIMTC_GUARDED_BY(mutex);
 
   Registry() {
     factories.emplace("pim", [](const EngineConfig& cfg) {
@@ -47,7 +49,7 @@ std::unique_ptr<TriangleCountEngine> make_engine(std::string_view name,
   EngineFactory factory;
   {
     Registry& reg = registry();
-    const std::scoped_lock lock(reg.mutex);
+    const MutexLock lock(reg.mutex);
     const auto it = reg.factories.find(name);
     if (it == reg.factories.end()) {
       std::string known;
@@ -69,7 +71,7 @@ void register_backend(std::string name, EngineFactory factory) {
     throw std::invalid_argument("register_backend: empty name or factory");
   }
   Registry& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   if (!reg.factories.emplace(std::move(name), std::move(factory)).second) {
     throw std::invalid_argument("register_backend: name already registered");
   }
@@ -77,7 +79,7 @@ void register_backend(std::string name, EngineFactory factory) {
 
 std::vector<std::string> registered_backends() {
   Registry& reg = registry();
-  const std::scoped_lock lock(reg.mutex);
+  const MutexLock lock(reg.mutex);
   std::vector<std::string> names;
   names.reserve(reg.factories.size());
   for (const auto& [name, factory] : reg.factories) names.push_back(name);

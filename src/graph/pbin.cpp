@@ -70,7 +70,11 @@ PbinInfo read_bin_header(const std::filesystem::path& path) {
   const PbinInfo info = decode_header(raw, path);
   std::error_code ec;
   const std::uintmax_t size = std::filesystem::file_size(path, ec);
-  if (!ec && size < kPbinHeaderBytes + info.num_edges * sizeof(Edge)) {
+  // Divide instead of multiplying: `num_edges * sizeof(Edge)` wraps for a
+  // hostile header (num_edges ~ 2^61), which would pass the size check and
+  // send a multi-exabyte allocation to read_bin.
+  if (!ec && (size < kPbinHeaderBytes ||
+              (size - kPbinHeaderBytes) / sizeof(Edge) < info.num_edges)) {
     fail(path, "truncated edge payload (header declares " +
                    std::to_string(info.num_edges) + " edges)");
   }

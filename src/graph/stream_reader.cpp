@@ -182,7 +182,9 @@ void ChunkedEdgeReader::parse_binary_header() {
     std::uint64_t count = 0;
     std::memcpy(&count, raw + 8, sizeof count);
     declared_edges_ = count;
-    if (file_bytes_ < sizeof raw + count * sizeof(Edge)) {
+    // file_bytes_ >= sizeof raw was checked above; divide rather than
+    // multiply so a hostile count near 2^64 cannot wrap past the check.
+    if ((file_bytes_ - sizeof raw) / sizeof(Edge) < count) {
       fail("truncated edge payload");
     }
   }
@@ -256,6 +258,14 @@ void ChunkedEdgeReader::parse_mtx_header() {
     // the -1 shift.
     if (rows > (1ull << 32) || cols > (1ull << 32)) {
       fail_line("matrix dimension > 2^32");
+    }
+    // Plausibility bound on nnz before anyone trusts it for a reserve():
+    // every entry needs at least "1 1" plus a separating newline, so a file
+    // of B bytes cannot hold more than B/4 + 1 entries.  A hostile size
+    // line (nnz ~ 2^60) would otherwise turn the one-shot reader's
+    // reserve(nnz) into a giant allocation.
+    if (nnz > file_bytes_ / 4 + 1) {
+      fail_line("size line declares more entries than the file could hold");
     }
     mtx_rows_ = rows;
     mtx_cols_ = cols;

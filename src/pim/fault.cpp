@@ -1,5 +1,6 @@
 #include "pim/fault.hpp"
 
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
@@ -24,7 +25,9 @@ double parse_rate(const std::string& key, const std::string& value) {
   } catch (const std::exception&) {
     bad_spec("'" + key + "' needs a number, got '" + value + "'");
   }
-  if (pos != value.size() || rate < 0.0 || rate > 1.0) {
+  // Written as a negated conjunction so NaN (which fails every ordered
+  // comparison, including `< 0.0`) is rejected rather than slipping through.
+  if (pos != value.size() || !(rate >= 0.0 && rate <= 1.0)) {
     bad_spec("'" + key + "' must be a probability in [0, 1], got '" + value +
              "'");
   }
@@ -39,13 +42,19 @@ double parse_positive(const std::string& key, const std::string& value) {
   } catch (const std::exception&) {
     bad_spec("'" + key + "' needs a number, got '" + value + "'");
   }
-  if (pos != value.size() || v <= 0.0) {
+  if (pos != value.size() || !std::isfinite(v) || v <= 0.0) {
     bad_spec("'" + key + "' must be > 0, got '" + value + "'");
   }
   return v;
 }
 
 std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  // stoull happily wraps "-1" to 2^64-1 and skips leading whitespace;
+  // demand a bare decimal digit up front so negatives are an error.
+  if (value.empty() || value.front() < '0' || value.front() > '9') {
+    bad_spec("'" + key + "' needs a non-negative integer, got '" + value +
+             "'");
+  }
   std::size_t pos = 0;
   unsigned long long v = 0;
   try {

@@ -77,6 +77,7 @@ class MramBank {
   }
 
  private:
+  // pimtc-lint: allow(memory-budget) -- backing-page granularity of this sparse store, not the WRAM budget
   static constexpr std::uint64_t kPageBytes = 64 << 10;
 
   struct Page {

@@ -25,7 +25,7 @@ SubmitResult Session::submit(std::span<const EdgeUpdate> batch) {
   // a blocked reservation against dead capacity would stall the submitter
   // for no admissible outcome.
   {
-    std::lock_guard lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     if (closing_) {
       ++stats_.batches_rejected;
       stats_.updates_rejected += n;
@@ -37,20 +37,14 @@ SubmitResult Session::submit(std::span<const EdgeUpdate> batch) {
   // bounds live behind independent mutexes and neither wait holds the
   // other's lock, so blocked submitters cannot form a cycle.
   if (!manager_->reserve_budget(n, policy_)) {
-    std::lock_guard lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     ++stats_.batches_rejected;
     stats_.updates_rejected += n;
     return SubmitResult::kBudgetExhausted;
   }
 
-  std::unique_lock lock(state_mutex_);
-  const auto has_space = [this, n] {
-    // Soft bound: an oversized batch is admitted alone (queue empty), so
-    // every batch is eventually servable.
-    return queued_updates_ + n <= config_.queue_capacity_updates ||
-           queue_.empty();
-  };
-  if (!closing_ && !has_space()) {
+  MutexLock lock(state_mutex_);
+  if (!closing_ && !has_space(n)) {
     if (policy_ == AdmissionPolicy::kReject) {
       ++stats_.batches_rejected;
       stats_.updates_rejected += n;
@@ -58,7 +52,7 @@ SubmitResult Session::submit(std::span<const EdgeUpdate> batch) {
       manager_->release_budget(n);
       return SubmitResult::kQueueFull;
     }
-    space_cv_.wait(lock, [&] { return closing_ || has_space(); });
+    while (!closing_ && !has_space(n)) lock.wait(space_cv_);
   }
   if (closing_) {
     ++stats_.batches_rejected;
@@ -91,7 +85,7 @@ void Session::drain() {
   for (;;) {
     Batch batch;
     {
-      std::unique_lock lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       if (queue_.empty()) {
         if (applied_seq_ > published_seq_) {
           // Publish the applied-but-invisible tail before going idle so
@@ -121,7 +115,7 @@ void Session::drain() {
 
     bool publish;
     {
-      std::lock_guard lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       applied_seq_ = batch.seq;
       queued_updates_ -= n;
       if (failure) {
@@ -149,7 +143,7 @@ void Session::publish_snapshot() {
   std::uint64_t through;
   std::uint64_t epoch;
   {
-    std::lock_guard lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     through = applied_seq_;
     epoch = stats_.epoch + 1;
     unpublished_batches_ = 0;
@@ -174,14 +168,14 @@ void Session::publish_snapshot() {
       error = "unknown engine failure";
     }
     if (!counted && attempt < config_.recount_retries) {
-      std::lock_guard lock(state_mutex_);
+      MutexLock lock(state_mutex_);
       ++stats_.recounts_retried;
     }
   }
   if (!counted) {
     // Out of retries.  Flush waiters are released (the batches *were*
     // applied) and the failure is surfaced in the stats.
-    std::lock_guard lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     ++stats_.recounts_failed;
     stats_.last_error = error;
     published_seq_ = through;
@@ -195,12 +189,12 @@ void Session::publish_snapshot() {
 
   const engine::CountReport::FaultStats faults = snap->report.faults;
   {
-    std::lock_guard lock(snapshot_mutex_);
+    MutexLock lock(snapshot_mutex_);
     snapshot_ = std::move(snap);
   }
   const Clock::time_point now = Clock::now();
   {
-    std::lock_guard lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     stats_.epoch = epoch;
     stats_.degraded = faults.degraded;
     stats_.coverage = faults.coverage;
@@ -225,7 +219,7 @@ void Session::publish_snapshot() {
 QueryResult Session::query() const {
   std::shared_ptr<const Snapshot> snap;
   {
-    std::lock_guard lock(snapshot_mutex_);
+    MutexLock lock(snapshot_mutex_);
     snap = snapshot_;
   }
   QueryResult result;
@@ -236,7 +230,7 @@ QueryResult Session::query() const {
     result.exact = snap->report.exact;
   }
   {
-    std::lock_guard lock(state_mutex_);
+    MutexLock lock(state_mutex_);
     result.stats = stats_;
     result.stats.queue_depth_updates = queued_updates_;
     result.stats.queue_depth_batches = queue_.size();
@@ -245,22 +239,23 @@ QueryResult Session::query() const {
 }
 
 void Session::flush() {
-  std::unique_lock lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   const std::uint64_t target = accepted_seq_;
-  applied_cv_.wait(lock, [&] { return published_seq_ >= target; });
+  while (published_seq_ < target) lock.wait(applied_cv_);
 }
 
 void Session::close() {
-  std::unique_lock lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   closing_ = true;
   space_cv_.notify_all();  // blocked submitters wake and observe kClosed
-  applied_cv_.wait(lock, [&] {
-    return queue_.empty() && !drain_scheduled_ && published_seq_ >= applied_seq_;
-  });
+  while (!(queue_.empty() && !drain_scheduled_ &&
+           published_seq_ >= applied_seq_)) {
+    lock.wait(applied_cv_);
+  }
 }
 
 std::vector<double> Session::latencies() const {
-  std::lock_guard lock(state_mutex_);
+  MutexLock lock(state_mutex_);
   return latencies_s_;
 }
 

@@ -26,11 +26,12 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "engine/engine.hpp"
 #include "serve/types.hpp"
 
@@ -53,22 +54,25 @@ class Session : public std::enable_shared_from_this<Session> {
   [[nodiscard]] AdmissionPolicy policy() const noexcept { return policy_; }
 
   /// Enqueues one update batch.  An empty batch is an accepted no-op.
-  SubmitResult submit(std::span<const EdgeUpdate> batch);
+  SubmitResult submit(std::span<const EdgeUpdate> batch)
+      PIMTC_EXCLUDES(state_mutex_);
 
   /// Snapshot-consistent, non-blocking read (see QueryResult).
-  [[nodiscard]] QueryResult query() const;
+  [[nodiscard]] QueryResult query() const
+      PIMTC_EXCLUDES(state_mutex_, snapshot_mutex_);
 
   /// Blocks until everything accepted before the call is published.
-  void flush();
+  void flush() PIMTC_EXCLUDES(state_mutex_);
 
   /// Stops admission, drains accepted batches, waits for quiescence.
   /// Idempotent; safe to call concurrently with blocked submitters (they
   /// wake and report kClosed).
-  void close();
+  void close() PIMTC_EXCLUDES(state_mutex_);
 
   /// Copy of the recorded update->visible latencies, in seconds (one
   /// sample per published batch, capped by ServeConfig).
-  [[nodiscard]] std::vector<double> latencies() const;
+  [[nodiscard]] std::vector<double> latencies() const
+      PIMTC_EXCLUDES(state_mutex_);
 
  private:
   using Clock = std::chrono::steady_clock;
@@ -85,17 +89,27 @@ class Session : public std::enable_shared_from_this<Session> {
     engine::CountReport report;
   };
 
-  /// Schedules the drain task if none is pending.  Requires state_mutex_.
-  void schedule_drain_locked();
+  /// Schedules the drain task if none is pending.
+  void schedule_drain_locked() PIMTC_REQUIRES(state_mutex_);
+
+  /// Queue has room for `n` more updates (soft bound: an oversized batch
+  /// is admitted alone, so every batch is eventually servable).
+  [[nodiscard]] bool has_space(std::uint64_t n) const
+      PIMTC_REQUIRES(state_mutex_) {
+    return queued_updates_ + n <= config_.queue_capacity_updates ||
+           queue_.empty();
+  }
 
   /// The drain loop: applies queued batches to the engine in admission
   /// order, publishing snapshots at the configured cadence and whenever
   /// the queue runs dry, then parks.  At most one instance runs at a time.
-  void drain();
+  /// EXCLUDES is the single-drainer contract made static: engine work is
+  /// never entered holding either mutex.
+  void drain() PIMTC_EXCLUDES(state_mutex_, snapshot_mutex_);
 
   /// recount() + atomic snapshot swap + latency/flush bookkeeping.
   /// Called only from drain().
-  void publish_snapshot();
+  void publish_snapshot() PIMTC_EXCLUDES(state_mutex_, snapshot_mutex_);
 
   const std::string name_;
   const AdmissionPolicy policy_;
@@ -106,26 +120,30 @@ class Session : public std::enable_shared_from_this<Session> {
   /// mutex is never held during engine calls.
   std::unique_ptr<engine::TriangleCountEngine> engine_;
 
-  mutable std::mutex state_mutex_;
+  mutable Mutex state_mutex_;
   std::condition_variable space_cv_;    ///< blocked submitters
   std::condition_variable applied_cv_;  ///< flush() / close() waiters
-  std::deque<Batch> queue_;
-  std::uint64_t queued_updates_ = 0;
-  std::uint64_t accepted_seq_ = 0;   ///< last admitted batch
-  std::uint64_t applied_seq_ = 0;    ///< last batch applied to the engine
-  std::uint64_t published_seq_ = 0;  ///< last batch covered by a snapshot
-  std::uint32_t unpublished_batches_ = 0;
-  bool drain_scheduled_ = false;
-  bool closing_ = false;
-  SessionStats stats_;
+  std::deque<Batch> queue_ PIMTC_GUARDED_BY(state_mutex_);
+  std::uint64_t queued_updates_ PIMTC_GUARDED_BY(state_mutex_) = 0;
+  /// Last admitted batch.
+  std::uint64_t accepted_seq_ PIMTC_GUARDED_BY(state_mutex_) = 0;
+  /// Last batch applied to the engine.
+  std::uint64_t applied_seq_ PIMTC_GUARDED_BY(state_mutex_) = 0;
+  /// Last batch covered by a snapshot.
+  std::uint64_t published_seq_ PIMTC_GUARDED_BY(state_mutex_) = 0;
+  std::uint32_t unpublished_batches_ PIMTC_GUARDED_BY(state_mutex_) = 0;
+  bool drain_scheduled_ PIMTC_GUARDED_BY(state_mutex_) = false;
+  bool closing_ PIMTC_GUARDED_BY(state_mutex_) = false;
+  SessionStats stats_ PIMTC_GUARDED_BY(state_mutex_);
   /// Admission timestamps awaiting visibility, in seq order.
-  std::deque<std::pair<std::uint64_t, Clock::time_point>> pending_visibility_;
-  std::vector<double> latencies_s_;
+  std::deque<std::pair<std::uint64_t, Clock::time_point>> pending_visibility_
+      PIMTC_GUARDED_BY(state_mutex_);
+  std::vector<double> latencies_s_ PIMTC_GUARDED_BY(state_mutex_);
 
   /// Guards only the snapshot pointer swap/copy — held for nanoseconds,
   /// never while the engine runs, so query() effectively never waits.
-  mutable std::mutex snapshot_mutex_;
-  std::shared_ptr<const Snapshot> snapshot_;
+  mutable Mutex snapshot_mutex_;
+  std::shared_ptr<const Snapshot> snapshot_ PIMTC_GUARDED_BY(snapshot_mutex_);
 };
 
 }  // namespace pimtc::serve

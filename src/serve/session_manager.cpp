@@ -38,7 +38,7 @@ void SessionManager::open(std::string name, std::string_view backend,
       engine::make_engine(backend, resolve_engine_config(engine_config));
   auto session = std::make_shared<Session>(name, std::move(engine), policy,
                                            config_, this);
-  std::lock_guard lock(sessions_mutex_);
+  MutexLock lock(sessions_mutex_);
   if (sessions_.contains(name)) {
     throw std::invalid_argument("SessionManager: session '" + name +
                                 "' already open");
@@ -47,7 +47,7 @@ void SessionManager::open(std::string name, std::string_view backend,
 }
 
 std::shared_ptr<Session> SessionManager::find(std::string_view session) const {
-  std::lock_guard lock(sessions_mutex_);
+  MutexLock lock(sessions_mutex_);
   const auto it = sessions_.find(session);
   if (it == sessions_.end()) {
     throw std::invalid_argument("SessionManager: unknown session '" +
@@ -100,7 +100,7 @@ SessionStats SessionManager::close(std::string_view session) {
   {
     // Remove from the directory first so new submits/queries see "unknown
     // session"; the shared_ptr keeps the drain alive until quiescence.
-    std::lock_guard lock(sessions_mutex_);
+    MutexLock lock(sessions_mutex_);
     const auto it = sessions_.find(session);
     if (it == sessions_.end()) {
       throw std::invalid_argument("SessionManager: unknown session '" +
@@ -117,7 +117,7 @@ void SessionManager::close_all() {
   for (;;) {
     std::shared_ptr<Session> s;
     {
-      std::lock_guard lock(sessions_mutex_);
+      MutexLock lock(sessions_mutex_);
       if (sessions_.empty()) return;
       auto it = sessions_.begin();
       s = std::move(it->second);
@@ -128,7 +128,7 @@ void SessionManager::close_all() {
 }
 
 std::vector<std::string> SessionManager::session_names() const {
-  std::lock_guard lock(sessions_mutex_);
+  MutexLock lock(sessions_mutex_);
   std::vector<std::string> names;
   names.reserve(sessions_.size());
   for (const auto& [name, session] : sessions_) names.push_back(name);
@@ -140,22 +140,16 @@ std::vector<double> SessionManager::latencies(std::string_view session) const {
 }
 
 std::uint64_t SessionManager::staged_updates() const {
-  std::lock_guard lock(budget_mutex_);
+  MutexLock lock(budget_mutex_);
   return staged_updates_;
 }
 
 bool SessionManager::reserve_budget(std::uint64_t n, AdmissionPolicy policy) {
   if (config_.staging_budget_updates == 0) return true;
-  std::unique_lock lock(budget_mutex_);
-  const auto fits = [this, n] {
-    // Soft bound, like the per-session queue: an oversized batch is
-    // admitted once nothing else is staged.
-    return staged_updates_ + n <= config_.staging_budget_updates ||
-           staged_updates_ == 0;
-  };
-  if (!fits()) {
+  MutexLock lock(budget_mutex_);
+  if (!budget_fits(n)) {
     if (policy == AdmissionPolicy::kReject) return false;
-    budget_cv_.wait(lock, fits);
+    while (!budget_fits(n)) lock.wait(budget_cv_);
   }
   staged_updates_ += n;
   return true;
@@ -164,7 +158,7 @@ bool SessionManager::reserve_budget(std::uint64_t n, AdmissionPolicy policy) {
 void SessionManager::release_budget(std::uint64_t n) {
   if (config_.staging_budget_updates == 0) return;
   {
-    std::lock_guard lock(budget_mutex_);
+    MutexLock lock(budget_mutex_);
     staged_updates_ -= n;
   }
   budget_cv_.notify_all();

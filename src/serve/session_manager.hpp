@@ -23,16 +23,18 @@
 // from the manager's own drain workers.  See DESIGN.md "Serving layer".
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <filesystem>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "engine/registry.hpp"
 #include "serve/session.hpp"
@@ -120,22 +122,36 @@ class SessionManager {
 
   /// Reserves `n` updates of the aggregate staging budget.  Returns false
   /// when exhausted under kReject; blocks until available under kBlock.
-  /// No-op (true) when the budget is unbounded.
-  bool reserve_budget(std::uint64_t n, AdmissionPolicy policy);
-  void release_budget(std::uint64_t n);
+  /// No-op (true) when the budget is unbounded.  Never called (and never
+  /// waits) holding a session's state mutex — the EXCLUDES on both budget
+  /// methods keeps the two admission bounds deadlock-free by construction.
+  bool reserve_budget(std::uint64_t n, AdmissionPolicy policy)
+      PIMTC_EXCLUDES(budget_mutex_);
+  void release_budget(std::uint64_t n) PIMTC_EXCLUDES(budget_mutex_);
 
   /// Looks up a session or throws std::invalid_argument naming it.
-  [[nodiscard]] std::shared_ptr<Session> find(std::string_view session) const;
+  [[nodiscard]] std::shared_ptr<Session> find(std::string_view session) const
+      PIMTC_EXCLUDES(sessions_mutex_);
+
+  /// `n` more staged updates fit the aggregate budget.  Soft bound, like
+  /// the per-session queue: an oversized batch is admitted once nothing
+  /// else is staged.
+  [[nodiscard]] bool budget_fits(std::uint64_t n) const
+      PIMTC_REQUIRES(budget_mutex_) {
+    return staged_updates_ + n <= config_.staging_budget_updates ||
+           staged_updates_ == 0;
+  }
 
   const ServeConfig config_;
   std::unique_ptr<ThreadPool> own_pool_;
 
-  mutable std::mutex sessions_mutex_;
-  std::map<std::string, std::shared_ptr<Session>, std::less<>> sessions_;
+  mutable Mutex sessions_mutex_;
+  std::map<std::string, std::shared_ptr<Session>, std::less<>> sessions_
+      PIMTC_GUARDED_BY(sessions_mutex_);
 
-  mutable std::mutex budget_mutex_;
+  mutable Mutex budget_mutex_;
   std::condition_variable budget_cv_;
-  std::uint64_t staged_updates_ = 0;
+  std::uint64_t staged_updates_ PIMTC_GUARDED_BY(budget_mutex_) = 0;
 };
 
 }  // namespace pimtc::serve

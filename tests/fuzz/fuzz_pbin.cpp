@@ -1,0 +1,90 @@
+// Fuzz harness for the graph-file front end: read_bin_header / read_bin
+// and ChunkedEdgeReader across every supported on-disk format.
+//
+// The first input byte selects the format (so one corpus exercises all
+// four parsers); the rest is the file body, written to a scratch file and
+// fed through both the one-shot and the chunked reader, mmap and buffered.
+// Expected rejections throw graph::IoError and are swallowed; any other
+// escape — std::length_error from an unchecked reserve, bad_alloc from a
+// wrapped size check, a sanitizer report — is a finding.  This is the
+// harness that flagged the `num_edges * sizeof(Edge)` overflow in the
+// .pbin / legacy-.bin size checks and the unbounded MatrixMarket nnz
+// reserve (fixed in src/graph/pbin.cpp and src/graph/stream_reader.cpp,
+// regression-pinned in tests/parser_hardening_test.cpp).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <unistd.h>
+
+#include "graph/io.hpp"
+#include "graph/io_error.hpp"
+#include "graph/pbin.hpp"
+#include "graph/stream_reader.hpp"
+#include "fuzz_util.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using pimtc::graph::ChunkedEdgeReader;
+using pimtc::graph::FileFormat;
+
+/// Per-process scratch file reused for every input (named, because the
+/// readers open by path; extension-free, because the format is passed
+/// explicitly).
+const fs::path& scratch_path() {
+  static const fs::path path = [] {
+    const fs::path dir =
+        fs::temp_directory_path() /
+        ("pimtc_fuzz_pbin_" + std::to_string(::getpid()));
+    fs::create_directories(dir);
+    return dir / "input";
+  }();
+  return path;
+}
+
+void drain(ChunkedEdgeReader& reader) {
+  for (std::span<const pimtc::Edge> chunk = reader.next(); !chunk.empty();
+       chunk = reader.next()) {
+  }
+}
+
+void exercise(const fs::path& path, FileFormat format) {
+  // Small chunks force many refill/boundary transitions per input.
+  for (const bool use_mmap : {true, false}) {
+    try {
+      pimtc::graph::ReaderOptions options;
+      options.chunk_edges = 3;
+      options.use_mmap = use_mmap;
+      ChunkedEdgeReader reader(path, format, options);
+      drain(reader);
+    } catch (const pimtc::graph::IoError&) {
+    }
+  }
+  if (format == FileFormat::kPbin) {
+    try {
+      (void)pimtc::graph::read_bin_header(path);
+      (void)pimtc::graph::read_bin(path);
+    } catch (const pimtc::graph::IoError&) {
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  static constexpr FileFormat kFormats[] = {
+      FileFormat::kPbin, FileFormat::kBinLegacy, FileFormat::kMtx,
+      FileFormat::kText};
+  const FileFormat format = kFormats[data[0] % 4];
+  {
+    std::ofstream out(scratch_path(), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(data + 1),
+              static_cast<std::streamsize>(size - 1));
+  }
+  exercise(scratch_path(), format);
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Shared scaffolding for the parser fuzz harnesses (tests/fuzz/fuzz_*.cpp).
+//
+// Every harness defines the libFuzzer entry point
+//
+//   extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+//
+// and builds in two modes:
+//
+//  * PIMTC_LIBFUZZER defined (Clang, -fsanitize=fuzzer,address,undefined):
+//    libFuzzer provides main() and drives coverage-guided mutation — the CI
+//    static-analysis job runs each harness for a short smoke budget.
+//  * otherwise (any compiler, including the gcc-only container): this
+//    header provides a standalone main() that replays the inputs named on
+//    the command line — files, or directories walked recursively — so the
+//    checked-in corpus and crash reproducers run under plain ctest on
+//    every build.
+//
+// Harness contract: *expected* rejections (IoError, invalid_argument) are
+// caught inside the harness; anything else — any other exception type, a
+// sanitizer report, a giant allocation — escapes and counts as a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#if !defined(PIMTC_LIBFUZZER)
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+namespace pimtc::fuzz {
+
+inline std::vector<std::uint8_t> slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+/// Replays one file, or every regular file under a directory.  Returns the
+/// number of inputs executed.
+inline std::size_t replay(const std::filesystem::path& path) {
+  namespace fs = std::filesystem;
+  std::size_t ran = 0;
+  if (fs::is_directory(path)) {
+    // Deterministic order so a crash names the same input on every run.
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(path)) {
+      if (entry.is_regular_file()) files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& f : files) ran += replay(f);
+    return ran;
+  }
+  const std::vector<std::uint8_t> bytes = slurp(path);
+  std::fprintf(stderr, "replay %s (%zu bytes)\n", path.string().c_str(),
+               bytes.size());
+  (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 1;
+}
+
+}  // namespace pimtc::fuzz
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <input-file-or-corpus-dir>...\n"
+                 "(replay driver; build with PIMTC_FUZZERS=ON under Clang "
+                 "for coverage-guided fuzzing)\n",
+                 argv[0]);
+    return 2;
+  }
+  std::size_t ran = 0;
+  for (int i = 1; i < argc; ++i) ran += pimtc::fuzz::replay(argv[i]);
+  std::fprintf(stderr, "replayed %zu inputs, no findings\n", ran);
+  return 0;
+}
+
+#endif  // !PIMTC_LIBFUZZER

@@ -1,0 +1,162 @@
+// Regression tests for parser hardening: hostile headers and fault-spec
+// strings that used to slip past validation (found by the fuzz harnesses in
+// tests/fuzz/).  Each case pins the *graceful* failure mode — a typed
+// IoError / invalid_argument naming the problem — where the seed behavior
+// was an unchecked giant allocation (length_error / bad_alloc) or a
+// silently wrong value (NaN rate, wrapped negative integer).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "graph/io_error.hpp"
+#include "graph/pbin.hpp"
+#include "graph/stream_reader.hpp"
+#include "pim/fault.hpp"
+
+namespace pimtc {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ParserHardeningTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "pimtc_parser_hardening_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path write_file(const std::string& name,
+                                    const std::string& bytes) const {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  /// A syntactically valid .pbin header declaring `num_edges` edges.
+  [[nodiscard]] static std::string pbin_header(std::uint64_t num_edges) {
+    std::string raw(graph::kPbinHeaderBytes, '\0');
+    std::memcpy(raw.data(), graph::kPbinMagic.data(),
+                graph::kPbinMagic.size());
+    const std::uint32_t version = graph::kPbinVersion;
+    std::memcpy(raw.data() + 8, &version, 4);
+    const std::uint64_t nodes = 4;
+    std::memcpy(raw.data() + 16, &nodes, 8);
+    std::memcpy(raw.data() + 24, &num_edges, 8);
+    return raw;
+  }
+
+  /// A legacy .bin header declaring `count` edges.
+  [[nodiscard]] static std::string legacy_header(std::uint64_t count) {
+    std::string raw = "PIMTCCO1";
+    raw.resize(16, '\0');
+    std::memcpy(raw.data() + 8, &count, 8);
+    return raw;
+  }
+
+  fs::path dir_;
+};
+
+// A num_edges chosen so that num_edges * sizeof(Edge) wraps to a tiny
+// value: the pre-fix size check passed and read_bin tried to allocate
+// 2^61 Edge records.  Must now fail as a truncated payload.
+TEST_F(ParserHardeningTest, PbinHeaderEdgeCountOverflowIsTruncation) {
+  const std::uint64_t wrap = (std::uint64_t{1} << 61) + 1;  // *8 == 8 mod 2^64
+  const fs::path path = write_file("wrap.pbin", pbin_header(wrap));
+  EXPECT_THROW((void)graph::read_bin_header(path), graph::IoError);
+  EXPECT_THROW((void)graph::read_bin(path), graph::IoError);
+  EXPECT_THROW(graph::ChunkedEdgeReader reader(path), graph::IoError);
+}
+
+TEST_F(ParserHardeningTest, PbinHonestOversizedCountIsStillTruncation) {
+  // No overflow, just a plain lie: 1000 declared edges, zero payload bytes.
+  const fs::path path = write_file("lie.pbin", pbin_header(1000));
+  EXPECT_THROW((void)graph::read_bin_header(path), graph::IoError);
+}
+
+TEST_F(ParserHardeningTest, LegacyBinEdgeCountOverflowIsTruncation) {
+  const std::uint64_t wrap = (std::uint64_t{1} << 61) + 1;
+  const fs::path path = write_file("wrap.bin", legacy_header(wrap));
+  EXPECT_THROW(graph::ChunkedEdgeReader reader(path), graph::IoError);
+  EXPECT_THROW((void)graph::read_coo_binary(path), graph::IoError);
+}
+
+TEST_F(ParserHardeningTest, MtxHostileNnzIsRejectedBeforeReserve) {
+  // 2^60 declared entries in a 60-byte file: the pre-fix reader passed
+  // this straight to EdgeList::reserve.
+  const fs::path path = write_file(
+      "hostile.mtx",
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "3 3 1152921504606846976\n"
+      "1 2\n");
+  try {
+    (void)graph::read_coo_mtx(path);
+    FAIL() << "expected IoError";
+  } catch (const graph::IoError& e) {
+    EXPECT_NE(std::string(e.what()).find("more entries"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ParserHardeningTest, MtxPlausibleFilesStillParse) {
+  // The plausibility bound must not reject legitimate minimal files.
+  const fs::path path = write_file("ok.mtx",
+                                   "%%MatrixMarket matrix coordinate "
+                                   "pattern general\n"
+                                   "3 3 2\n"
+                                   "1 2\n"
+                                   "2 3\n");
+  const graph::EdgeList list = graph::read_coo_mtx(path);
+  EXPECT_EQ(list.num_edges(), 2u);
+}
+
+// ---- FaultSpec string hardening --------------------------------------------
+
+TEST(FaultSpecHardeningTest, NanAndInfRatesAreRejected) {
+  const auto expect_bad = [](const std::string& spec) {
+    EXPECT_THROW((void)pim::FaultSpec::parse(spec), std::invalid_argument)
+        << spec;
+  };
+  // NaN fails every ordered comparison, so `rate < 0 || rate > 1` used to
+  // accept it and poison every downstream probability comparison.
+  expect_bad("corrupt=nan");
+  expect_bad("launch-transient=nan");
+  expect_bad("bitflip=NAN");
+  expect_bad("rank-outage=inf");
+  expect_bad("backoff-us=nan");
+  expect_bad("backoff-us=inf");
+  expect_bad("checksum-gbps=nan");
+}
+
+TEST(FaultSpecHardeningTest, NegativeIntegersAreRejectedNotWrapped) {
+  // stoull("-1") wraps to 2^64-1; "seed=-1" used to parse successfully.
+  const auto expect_bad = [](const std::string& spec) {
+    EXPECT_THROW((void)pim::FaultSpec::parse(spec), std::invalid_argument)
+        << spec;
+  };
+  expect_bad("seed=-1");
+  expect_bad("max-retries=-1");
+  expect_bad("spares=-3");
+  expect_bad("from-step=-2");
+  expect_bad("seed=+1");   // sign prefixes are not part of the grammar
+  expect_bad("seed= 1");   // neither is embedded whitespace
+}
+
+TEST(FaultSpecHardeningTest, BoundaryValuesStillParse) {
+  EXPECT_EQ(pim::FaultSpec::parse("seed=18446744073709551615").seed,
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_DOUBLE_EQ(pim::FaultSpec::parse("corrupt=1.0").transfer_corrupt, 1.0);
+  EXPECT_DOUBLE_EQ(pim::FaultSpec::parse("corrupt=0").transfer_corrupt, 0.0);
+}
+
+}  // namespace
+}  // namespace pimtc

@@ -1,0 +1,62 @@
+# Thread-safety compile-failure battery (included from the top-level
+# CMakeLists when the compiler is Clang).
+#
+# Each case in tests/static/ is pushed through try_compile with
+# `-Wthread-safety -Werror=thread-safety`:
+#
+#   * tsa_positive_control.cpp MUST compile — otherwise the negative cases
+#     below would "fail" for an unrelated reason and prove nothing;
+#   * every tsa_*.cpp listed in PIMTC_TSA_MUST_FAIL must NOT compile — each
+#     encodes a lock-discipline bug (double lock, snapshot mutex held
+#     across engine work, unguarded access) that the annotations exist to
+#     reject at build time.
+#
+# An unexpected outcome is a configure-time FATAL_ERROR: a regression here
+# means the annotation layer lost its teeth, which must not wait for CI
+# test-time to surface.  Each verdict is also registered as an always-pass
+# ctest (`tsa_compile_*`) so the battery is visible in the test report.
+
+set(PIMTC_TSA_DIR ${CMAKE_CURRENT_SOURCE_DIR}/tests/static)
+set(PIMTC_TSA_FLAGS -Wthread-safety -Werror=thread-safety)
+
+function(pimtc_tsa_try_compile source result_var log_var)
+  try_compile(${result_var}
+    ${CMAKE_CURRENT_BINARY_DIR}/tsa_checks
+    ${PIMTC_TSA_DIR}/${source}
+    COMPILE_DEFINITIONS "${PIMTC_TSA_FLAGS}"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=20"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    OUTPUT_VARIABLE ${log_var})
+  set(${result_var} ${${result_var}} PARENT_SCOPE)
+  set(${log_var} ${${log_var}} PARENT_SCOPE)
+endfunction()
+
+pimtc_tsa_try_compile(tsa_positive_control.cpp PIMTC_TSA_CONTROL_OK control_log)
+if(NOT PIMTC_TSA_CONTROL_OK)
+  message(FATAL_ERROR
+    "tests/static/tsa_positive_control.cpp failed to compile under "
+    "-Wthread-safety — the annotation layer itself is broken:\n${control_log}")
+endif()
+add_test(NAME tsa_compile_positive_control COMMAND ${CMAKE_COMMAND} -E true)
+
+set(PIMTC_TSA_MUST_FAIL
+  tsa_double_lock.cpp
+  tsa_snapshot_across_engine.cpp
+  tsa_unguarded_access.cpp)
+foreach(source ${PIMTC_TSA_MUST_FAIL})
+  pimtc_tsa_try_compile(${source} PIMTC_TSA_COMPILED failure_log)
+  if(PIMTC_TSA_COMPILED)
+    message(FATAL_ERROR
+      "tests/static/${source} COMPILED under -Wthread-safety but encodes a "
+      "lock-discipline bug the analysis must reject — the thread-safety "
+      "annotations have lost their teeth")
+  endif()
+  get_filename_component(case_name ${source} NAME_WE)
+  add_test(NAME ${case_name}_rejected COMMAND ${CMAKE_COMMAND} -E true)
+endforeach()
+
+message(STATUS
+  "Thread-safety compile battery: positive control builds, "
+  "3 discipline violations rejected")

@@ -1,0 +1,26 @@
+// Thread-safety-analysis failure case (tests/static/): double lock.
+//
+// Acquiring the same pimtc::Mutex twice in one scope is a guaranteed
+// deadlock (the capability is non-reentrant).  Under Clang with
+// `-Wthread-safety -Werror` this translation unit MUST FAIL to compile;
+// tsa_compile_tests.cmake errors out if it ever builds.
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+pimtc::Mutex g_mutex;
+int g_value PIMTC_GUARDED_BY(g_mutex) = 0;
+
+void double_lock() {
+  const pimtc::MutexLock outer(g_mutex);
+  const pimtc::MutexLock inner(g_mutex);  // acquiring a held capability
+  ++g_value;
+}
+
+}  // namespace
+
+int main() {
+  double_lock();
+  return 0;
+}

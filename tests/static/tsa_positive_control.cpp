@@ -1,0 +1,47 @@
+// Thread-safety-analysis positive control (tests/static/).
+//
+// Correct lock discipline over the annotated pimtc::Mutex/MutexLock: this
+// translation unit MUST compile cleanly under Clang with
+// `-Wthread-safety -Werror`.  If it does not, the failure battery next to
+// it proves nothing (the negative cases would "fail" for the wrong
+// reason), so tsa_compile_tests.cmake hard-errors on this one first.
+#include <cstdint>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() PIMTC_EXCLUDES(mutex_) {
+    const pimtc::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  [[nodiscard]] std::uint64_t get() const PIMTC_EXCLUDES(mutex_) {
+    const pimtc::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  void bump_locked() PIMTC_REQUIRES(mutex_) { ++value_; }
+
+  void bump_twice() PIMTC_EXCLUDES(mutex_) {
+    const pimtc::MutexLock lock(mutex_);
+    bump_locked();
+    bump_locked();
+  }
+
+ private:
+  mutable pimtc::Mutex mutex_;
+  std::uint64_t value_ PIMTC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.bump();
+  c.bump_twice();
+  return static_cast<int>(c.get() - 3);
+}

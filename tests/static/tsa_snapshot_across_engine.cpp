@@ -1,0 +1,40 @@
+// Thread-safety-analysis failure case (tests/static/): holding the
+// snapshot mutex across engine work.
+//
+// The serving layer's core liveness rule (session.hpp): the snapshot mutex
+// guards only the pointer swap and is never held while the engine runs —
+// engine entry points are annotated PIMTC_EXCLUDES(snapshot mutex).  This
+// file violates exactly that shape: it calls the excluded function while
+// holding the lock.  Under Clang with `-Wthread-safety -Werror` it MUST
+// FAIL to compile; tsa_compile_tests.cmake errors out if it ever builds.
+#include <memory>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+class MiniSession {
+ public:
+  /// Stands in for Session::drain / engine recount: heavy work that must
+  /// never run under snapshot_mutex_.
+  void engine_recount() PIMTC_EXCLUDES(snapshot_mutex_) {}
+
+  void publish() PIMTC_EXCLUDES(snapshot_mutex_) {
+    const pimtc::MutexLock lock(snapshot_mutex_);
+    engine_recount();  // excluded capability is held: analysis error
+    snapshot_ = std::make_shared<int>(1);
+  }
+
+ private:
+  mutable pimtc::Mutex snapshot_mutex_;
+  std::shared_ptr<const int> snapshot_ PIMTC_GUARDED_BY(snapshot_mutex_);
+};
+
+}  // namespace
+
+int main() {
+  MiniSession s;
+  s.publish();
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Thread-safety-analysis failure case (tests/static/): touching a guarded
+// member without its mutex.
+//
+// The cheapest and most common lock-discipline mistake: reading or writing
+// a PIMTC_GUARDED_BY member lock-free.  Under Clang with
+// `-Wthread-safety -Werror` this translation unit MUST FAIL to compile;
+// tsa_compile_tests.cmake errors out if it ever builds.
+#include <cstdint>
+
+#include "common/annotations.hpp"
+#include "common/mutex.hpp"
+
+namespace {
+
+pimtc::Mutex g_mutex;
+std::uint64_t g_count PIMTC_GUARDED_BY(g_mutex) = 0;
+
+std::uint64_t racy_read() {
+  return g_count;  // guarded member, no lock held: analysis error
+}
+
+}  // namespace
+
+int main() { return static_cast<int>(racy_read()); }

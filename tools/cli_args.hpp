@@ -1,0 +1,117 @@
+// --key=value argument bag shared by the pimtc CLI (tools/pimtc_cli.cpp)
+// and the parser fuzz harnesses (tests/fuzz/fuzz_update_stream.cpp).
+//
+// Numeric accessors parse strictly: trailing garbage ("--edges=10k"),
+// negative values for unsigned flags and overflow are all rejected with the
+// offending flag named — never silently truncated through an atof
+// round-trip (which also lost precision on 64-bit seeds above 2^53).
+//
+// Malformed *positional* syntax (an argument that does not start with "--")
+// calls the `on_syntax_error` handler when one is supplied — the CLI passes
+// its usage() — and otherwise throws std::invalid_argument, which is what
+// the fuzz harnesses need: a library-style failure mode with no process
+// exit.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace pimtc::cli {
+
+class Args {
+ public:
+  using SyntaxErrorHandler = void (*)();
+
+  Args(int argc, char** argv, int first,
+       SyntaxErrorHandler on_syntax_error = nullptr) {
+    for (int i = first; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--", 2) != 0) {
+        if (on_syntax_error != nullptr) on_syntax_error();
+        throw std::invalid_argument("argument '" + std::string(a) +
+                                    "' does not start with --");
+      }
+      const char* eq = std::strchr(a, '=');
+      if (eq) {
+        kv_[std::string(a + 2, eq)] = eq + 1;
+      } else {
+        kv_[a + 2] = "1";
+      }
+    }
+  }
+
+  [[nodiscard]] std::string str(const std::string& key,
+                                const std::string& fallback = "") const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? fallback : it->second;
+  }
+
+  /// Unsigned 64-bit integer flag (full seed range, no double round-trip).
+  [[nodiscard]] std::uint64_t u64(const std::string& key,
+                                  std::uint64_t fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    const std::string& value = it->second;
+    if (value.empty() || value[0] == '-' || value[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(value[0]))) {
+      bad(key, value, "a non-negative integer");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+      bad(key, value, "a non-negative integer");
+    }
+    return parsed;
+  }
+
+  [[nodiscard]] std::uint32_t u32(const std::string& key,
+                                  std::uint32_t fallback) const {
+    const std::uint64_t parsed = u64(key, fallback);
+    if (parsed > 0xffffffffull) bad(key, str(key), "a 32-bit integer");
+    return static_cast<std::uint32_t>(parsed);
+  }
+
+  /// Finite floating-point flag; negativity is rejected here because every
+  /// numeric CLI dial (probabilities, fractions, scales, margins) is
+  /// non-negative — a stray '-' is a typo, not a request.
+  [[nodiscard]] double f64(const std::string& key, double fallback) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return fallback;
+    const std::string& value = it->second;
+    if (value.empty() || value[0] == '-' ||
+        std::isspace(static_cast<unsigned char>(value[0]))) {
+      bad(key, value, "a non-negative number");
+    }
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(parsed)) {
+      bad(key, value, "a non-negative number");
+    }
+    return parsed;
+  }
+
+  [[nodiscard]] bool flag(const std::string& key) const {
+    return kv_.contains(key);
+  }
+
+ private:
+  [[noreturn]] static void bad(const std::string& key, const std::string& value,
+                               const char* expected) {
+    throw std::invalid_argument("--" + key + " must be " + expected +
+                                ", got '" + value + "'");
+  }
+
+  std::map<std::string, std::string> kv_;
+};
+
+}  // namespace pimtc::cli

@@ -54,6 +54,7 @@
 
 #include <algorithm>
 
+#include "cli_args.hpp"
 #include "coloring/partition_plan.hpp"
 #include "common/prng.hpp"
 #include "engine/ingest.hpp"
@@ -127,92 +128,10 @@ using namespace pimtc;
   std::exit(2);
 }
 
-/// --key=value argument bag.  Numeric accessors parse strictly: trailing
-/// garbage ("--edges=10k"), negative values for unsigned flags and
-/// overflow are all rejected with the offending flag named — never
-/// silently truncated through an atof round-trip (which also lost
-/// precision on 64-bit seeds above 2^53).
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      const char* a = argv[i];
-      if (std::strncmp(a, "--", 2) != 0) usage();
-      const char* eq = std::strchr(a, '=');
-      if (eq) {
-        kv_[std::string(a + 2, eq)] = eq + 1;
-      } else {
-        kv_[a + 2] = "1";
-      }
-    }
-  }
-
-  [[nodiscard]] std::string str(const std::string& key,
-                                const std::string& fallback = "") const {
-    const auto it = kv_.find(key);
-    return it == kv_.end() ? fallback : it->second;
-  }
-
-  /// Unsigned 64-bit integer flag (full seed range, no double round-trip).
-  [[nodiscard]] std::uint64_t u64(const std::string& key,
-                                  std::uint64_t fallback) const {
-    const auto it = kv_.find(key);
-    if (it == kv_.end()) return fallback;
-    const std::string& value = it->second;
-    if (value.empty() || value[0] == '-' || value[0] == '+' ||
-        std::isspace(static_cast<unsigned char>(value[0]))) {
-      bad(key, value, "a non-negative integer");
-    }
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-    if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
-      bad(key, value, "a non-negative integer");
-    }
-    return parsed;
-  }
-
-  [[nodiscard]] std::uint32_t u32(const std::string& key,
-                                  std::uint32_t fallback) const {
-    const std::uint64_t parsed = u64(key, fallback);
-    if (parsed > 0xffffffffull) bad(key, str(key), "a 32-bit integer");
-    return static_cast<std::uint32_t>(parsed);
-  }
-
-  /// Finite floating-point flag; negativity is rejected here because every
-  /// numeric CLI dial (probabilities, fractions, scales, margins) is
-  /// non-negative — a stray '-' is a typo, not a request.
-  [[nodiscard]] double f64(const std::string& key, double fallback) const {
-    const auto it = kv_.find(key);
-    if (it == kv_.end()) return fallback;
-    const std::string& value = it->second;
-    if (value.empty() || value[0] == '-' ||
-        std::isspace(static_cast<unsigned char>(value[0]))) {
-      bad(key, value, "a non-negative number");
-    }
-    errno = 0;
-    char* end = nullptr;
-    const double parsed = std::strtod(value.c_str(), &end);
-    if (end == value.c_str() || *end != '\0' || errno == ERANGE ||
-        !std::isfinite(parsed)) {
-      bad(key, value, "a non-negative number");
-    }
-    return parsed;
-  }
-
-  [[nodiscard]] bool flag(const std::string& key) const {
-    return kv_.contains(key);
-  }
-
- private:
-  [[noreturn]] static void bad(const std::string& key, const std::string& value,
-                               const char* expected) {
-    throw std::invalid_argument("--" + key + " must be " + expected +
-                                ", got '" + value + "'");
-  }
-
-  std::map<std::string, std::string> kv_;
-};
+/// --key=value argument bag (tools/cli_args.hpp); malformed positional
+/// syntax routes to usage() via the handler, numeric accessors throw
+/// std::invalid_argument (caught in main, exit 2).
+using Args = cli::Args;
 
 /// Pre-flight check of a user-supplied input file: missing files,
 /// directories and zero-length files all fail with one clean
@@ -1202,7 +1121,7 @@ int cmd_serve(const Args& args) {
 int main(int argc, char** argv) {
   if (argc < 2) usage();
   const std::string cmd = argv[1];
-  const Args args(argc, argv, 2);
+  const Args args(argc, argv, 2, usage);
   try {
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "convert") return cmd_convert(args);
